@@ -1,0 +1,45 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures, prints the
+rows/series (visible with ``pytest -s``), and persists them under
+``results/`` so a benchmark run leaves the full reproduction report
+behind.
+
+Benchmarks default to ``BENCH_SCALE`` (1/32 of the paper's dataset
+sizes); set the ``REPRO_SCALE`` environment variable to run larger, e.g.
+``REPRO_SCALE=1.0`` for the paper-sized datasets.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+#: Simulation scale for benchmarks (fraction of the paper's data sizes).
+BENCH_SCALE = float(os.environ.get("REPRO_SCALE", 1 / 32))
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_rows(results_dir):
+    """Persist structured rows as CSV next to the text reports."""
+    from repro.experiments import rows_to_csv
+
+    def _save(name: str, rows) -> None:
+        (results_dir / f"{name}.csv").write_text(rows_to_csv(rows))
+    return _save

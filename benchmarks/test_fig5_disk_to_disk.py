@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 5 (direct disk-to-disk communication)."""
+
+import pytest
+
+from repro.experiments import run_fig5
+from conftest import BENCH_SCALE
+
+REPARTITION = ("sort", "join", "mview")
+LOCAL = ("select", "aggregate", "groupby", "dmine", "dcube")
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(sizes=(32, 64, 128), scale=BENCH_SCALE)
+
+
+def test_fig5_sweep(benchmark, save_report, save_rows, fig5):
+    benchmark.pedantic(
+        lambda: run_fig5(sizes=(32,), tasks=("sort",), scale=BENCH_SCALE),
+        rounds=1, iterations=1)
+    save_report("fig5_disk_to_disk", fig5.render())
+    from repro.experiments import fig5_rows
+    save_rows("fig5_disk_to_disk", fig5_rows(fig5))
+
+
+class TestFig5Shape:
+    def test_repartition_tasks_slow_down_heavily(self, fig5):
+        """"up to a five-fold slowdown for the three communication-
+        intensive tasks"."""
+        for task in REPARTITION:
+            assert fig5.slowdown(task, 128) > 3.0
+        assert max(fig5.slowdown(t, 128) for t in REPARTITION) > 3.8
+
+    def test_slowdown_grows_with_configuration(self, fig5):
+        for task in REPARTITION:
+            assert (fig5.slowdown(task, 32)
+                    < fig5.slowdown(task, 64)
+                    < fig5.slowdown(task, 128))
+
+    def test_other_tasks_virtually_unaffected(self, fig5):
+        """"virtually no impact on the remaining five tasks"."""
+        for task in LOCAL:
+            for size in (32, 64, 128):
+                assert fig5.slowdown(task, size) == pytest.approx(
+                    1.0, abs=0.05)

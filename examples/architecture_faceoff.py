@@ -1,0 +1,40 @@
+"""Architecture face-off: the paper's Figure 1 on your terminal.
+
+Runs a chosen set of decision-support tasks across Active Disks, the
+commodity cluster and the SMP at several farm sizes, and prints
+execution times normalized to Active Disks — the paper's headline
+comparison.
+
+Run:  python examples/architecture_faceoff.py [task ...]
+      python examples/architecture_faceoff.py sort groupby
+"""
+
+import sys
+
+from repro import registered_tasks
+from repro.experiments import run_fig1
+
+SCALE = 1 / 64
+SIZES = (16, 64, 128)
+
+
+def main(argv):
+    tasks = tuple(argv) or ("select", "groupby", "sort")
+    unknown = set(tasks) - set(registered_tasks())
+    if unknown:
+        raise SystemExit(f"unknown tasks: {', '.join(sorted(unknown))}; "
+                         f"choose from {', '.join(registered_tasks())}")
+    print(f"Running {', '.join(tasks)} on {SIZES} disks "
+          f"(scale {SCALE:g})...\n")
+    figure = run_fig1(sizes=SIZES, tasks=tasks, scale=SCALE)
+    print(figure.render())
+    print()
+    for task in tasks:
+        trend = " -> ".join(
+            f"{figure.normalized(task, 'smp', size):.1f}x"
+            for size in SIZES)
+        print(f"{task}: SMP falls behind as the farm grows: {trend}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,74 @@
+"""Writing your own disklet-style task against the public API.
+
+The eight built-in tasks are all expressed as
+:class:`~repro.arch.program.TaskProgram` dataflows; this example builds a
+*new* one — a top-k "heavy hitters" query that scans the fact table,
+keeps a tiny candidate heap on each disk, and ships only the candidates
+— declares its Active Disk form as a sandboxed
+:class:`~repro.diskos.Disklet`, and runs it on all three architectures.
+
+Run:  python examples/custom_disklet.py
+"""
+
+from repro import build_machine, config_for
+from repro.diskos import (
+    DiskMemory,
+    Disklet,
+    DiskletStage,
+    SinkKind,
+    StreamSpec,
+    program_from_disklets,
+)
+from repro.sim import Simulator
+
+GB = 1_000_000_000
+MB = 1_000_000
+SCALE = 1 / 64
+
+#: per-tuple heap maintenance at the 275 MHz reference machine.
+HEAVY_HITTER_NS_PER_BYTE = 45.0
+CANDIDATES_PER_WORKER = 4 * 1024          # top-k candidates, 32 B each
+
+
+def as_disklet() -> Disklet:
+    """The task in the Active Disk programming model's own terms."""
+    return Disklet(
+        name="heavy-hitters",
+        cpu_ns_per_byte=HEAVY_HITTER_NS_PER_BYTE,
+        outputs=(
+            StreamSpec(SinkKind.FRONTEND,
+                       fixed_bytes=CANDIDATES_PER_WORKER * 32),
+        ),
+        scratch_bytes=CANDIDATES_PER_WORKER * 64,  # heap + hash index
+    )
+
+
+def main():
+    disklet = as_disklet()
+    print(f"disklet {disklet.name!r}: {disklet.cpu_ns_per_byte:.0f} ns/B, "
+          f"scratch {disklet.scratch_bytes // 1024} KB, "
+          f"peers={'yes' if disklet.uses_peers else 'no'}\n")
+
+    # DiskOS validates the sandbox (scratch fits, stream routing legal)
+    # and lowers the disklet pipeline to an architecture-neutral program.
+    layout = DiskMemory(32 * MB).layout()
+    program = program_from_disklets(
+        "heavy_hitters",
+        [DiskletStage(disklet=disklet,
+                      read_bytes_total=int(16 * GB * SCALE),
+                      frontend_cpu_ns_per_byte=8.0)],
+        layout=layout)
+    print(f"top-k heavy hitters over 16 GB (scale {SCALE:g}), 64 disks:")
+    for arch in ("active", "cluster", "smp"):
+        sim = Simulator()
+        machine = build_machine(sim, config_for(arch, 64))
+        result = machine.run(program)
+        print(f"  {arch:8s}: {result.elapsed:7.2f}s "
+              f"(front-end received "
+              f"{result.extras['frontend_bytes'] / 1e6:.1f} MB)")
+    print("\nA pure data-reduction query: the Active Disk farm wins by "
+          "the full disk-count factor, exactly like select/aggregate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Compose and run a real decision-support query on all three machines.
+
+The benchmark tasks are single operators; warehouses run *queries*. This
+example builds the classic report query —
+
+    SELECT region, SUM(sales) FROM facts
+    WHERE discount > threshold        (10% of rows)
+    GROUP BY region                   (50,000 regions x 32 B)
+    ORDER BY SUM(sales)
+
+— as a logical plan, compiles it per architecture with proper volume
+propagation (the sort runs over the 1.6 MB of groups, not the 16 GB fact
+table), and simulates it.
+
+Run:  python examples/query_planner.py
+"""
+
+from repro.arch import build_machine
+from repro.experiments import config_for
+from repro.sim import Simulator
+from repro.workloads.queries import (
+    Filter,
+    GroupBy,
+    OrderBy,
+    QueryPlan,
+    Scan,
+    compile_plan,
+)
+
+SCALE = 1 / 32
+DISKS = 64
+
+REPORT_QUERY = QueryPlan(
+    name="regional-sales-report",
+    scan=Scan(rows=250_000_000, row_bytes=64),     # the 16 GB fact table
+    operators=(
+        Filter(selectivity=0.10),
+        GroupBy(groups=50_000, entry_bytes=32),
+        OrderBy(),
+    ),
+)
+
+
+def main():
+    print(f"query: {REPORT_QUERY.name} on {DISKS} disks "
+          f"(scale {SCALE:g})\n")
+    for arch in ("active", "cluster", "smp"):
+        config = config_for(arch, DISKS)
+        program = compile_plan(REPORT_QUERY, config, SCALE)
+        sim = Simulator()
+        result = build_machine(sim, config).run(program)
+        stages = "  ".join(f"{p.name}={p.elapsed:.2f}s"
+                           for p in result.phases)
+        print(f"{arch:8s} total {result.elapsed:6.2f}s   ({stages})")
+    print()
+    print("The scan dominates everywhere — the group-by collapsed the "
+          "sort's input to a few MB, so the ORDER BY is all but free. "
+          "An optimizer that sorted before aggregating would pay the "
+          "full 16 GB repartition; try moving OrderBy before GroupBy "
+          "in the plan to watch it happen.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: simulate one decision-support task on an Active Disk farm.
+
+Builds the paper's 16-disk Active Disk configuration, runs the SQL
+select task (268 M tuples, 1 % selectivity, scaled down 64x for speed),
+and prints where the time went — then reruns the same task on the SMP
+with the identical disks to show why offloading the scan matters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import config_for, run_task
+
+SCALE = 1 / 64  # fraction of the paper's 16 GB dataset
+
+
+def describe(result):
+    print(f"  architecture : {result.arch}")
+    print(f"  elapsed      : {result.elapsed:8.2f} simulated seconds")
+    print(f"  disk reads   : {result.extras['disk_bytes_read'] / 1e9:6.2f} GB")
+    fc = result.extras.get("fc_bytes")
+    if fc is not None:
+        print(f"  FC-loop bytes: {fc / 1e9:6.2f} GB "
+              f"(utilization {result.extras['fc_utilization']:.0%})")
+    for phase in result.phases:
+        budget = ", ".join(f"{name}={frac:.0%}"
+                           for name, frac in sorted(phase.fractions().items()))
+        print(f"  phase {phase.name!r}: {phase.elapsed:.2f}s ({budget})")
+    print()
+
+
+def main():
+    print(f"select on 16 disks at scale {SCALE:g} "
+          f"({16 * SCALE:.2f} GB of 64-byte tuples, 1% selectivity)\n")
+
+    print("Active Disks (200 MHz CPU per disk, dual FC-AL):")
+    active = run_task(config_for("active", 16), "select", SCALE)
+    describe(active)
+
+    print("SMP (16 x 250 MHz CPUs, all disk data over one 200 MB/s FC):")
+    smp = run_task(config_for("smp", 16), "select", SCALE)
+    describe(smp)
+
+    ratio = smp.elapsed / active.elapsed
+    print(f"SMP / Active Disks = {ratio:.2f}x — the scan runs at the "
+          f"disks, so only 1% of the data crosses the Active Disk "
+          f"interconnect, while the SMP pulls all of it through its FC "
+          f"loop. Try 128 disks to watch the gap grow to ~8-9x.")
+
+
+if __name__ == "__main__":
+    main()

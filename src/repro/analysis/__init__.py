@@ -1,0 +1,26 @@
+"""Closed-form performance analysis (the simulator's analytic twin)."""
+
+from .bottleneck import (
+    AnalyticEstimate,
+    PhaseEstimate,
+    analyze,
+    analyze_program,
+)
+from .whatif import (
+    DesignPoint,
+    design_space,
+    pareto_frontier,
+    render_design_space,
+)
+from .price_performance import (
+    PricePerformance,
+    configuration_price,
+    price_performance_table,
+)
+
+__all__ = ["analyze", "analyze_program", "AnalyticEstimate",
+           "PhaseEstimate",
+           "configuration_price", "PricePerformance",
+           "price_performance_table",
+           "design_space", "pareto_frontier", "DesignPoint",
+           "render_design_space"]

@@ -1,0 +1,50 @@
+"""The three server architectures and the shared phase-execution engine."""
+
+from .active_disk import ActiveDiskMachine, ActiveDiskNode, FrontEnd
+from .base import Dribble, Machine, PhaseResult, RunResult, WorkLatch
+from .cluster import ClusterMachine, ClusterNode
+from .config import (
+    CORE_SIZES,
+    GB,
+    MB,
+    ActiveDiskConfig,
+    ArchConfig,
+    ClusterConfig,
+    SMPConfig,
+)
+from .costs import (
+    PRICE_DATES,
+    PRICES,
+    active_disk_cost,
+    cluster_cost,
+    cost_table,
+    smp_cost_estimate,
+)
+from .program import CostComponent, Phase, TaskProgram
+from .smp import SMPMachine, SharedBlockQueue
+
+__all__ = [
+    "ArchConfig", "ActiveDiskConfig", "ClusterConfig", "SMPConfig",
+    "CORE_SIZES", "MB", "GB",
+    "Machine", "RunResult", "PhaseResult", "WorkLatch", "Dribble",
+    "ActiveDiskMachine", "ActiveDiskNode", "FrontEnd",
+    "ClusterMachine", "ClusterNode",
+    "SMPMachine", "SharedBlockQueue",
+    "Phase", "TaskProgram", "CostComponent",
+    "PRICES", "PRICE_DATES", "active_disk_cost", "cluster_cost",
+    "smp_cost_estimate", "cost_table",
+]
+
+
+def build_machine(sim, config):
+    """Instantiate the machine matching a configuration's architecture."""
+    if isinstance(config, ActiveDiskConfig):
+        return ActiveDiskMachine(sim, config)
+    if isinstance(config, ClusterConfig):
+        return ClusterMachine(sim, config)
+    if isinstance(config, SMPConfig):
+        return SMPMachine(sim, config)
+    raise TypeError(f"unknown configuration type: {type(config).__name__}")
+
+
+__all__.append("build_machine")

@@ -1,0 +1,317 @@
+"""The Active Disk machine: embedded processors on a dual FC-AL.
+
+Resources
+---------
+* one :class:`~repro.disk.DiskDrive` + one 200 MHz embedded
+  :class:`~repro.host.Cpu` + a DiskOS memory layout per disk unit;
+* a dual Fibre Channel arbitrated loop (200 MB/s aggregate) shared by all
+  disks and the front-end's host adaptor;
+* a front-end host (450 MHz Pentium II, 1 GB RAM) whose FC adaptor sits
+  behind a 133 MB/s PCI bus.
+
+Data paths
+----------
+* **scan**: media -> on-disk buffer -> embedded CPU. Never touches the FC
+  loop — this is the whole point of Active Disks.
+* **shuffle (direct)**: source disk -> FC loop -> peer disk, gated by the
+  receiver's DiskOS communication buffers (credit flow control).
+* **shuffle (restricted, Section 4.4)**: source disk -> FC -> front-end
+  PCI -> front-end memory (CPU copy) -> PCI -> FC -> peer disk. The
+  front-end's PCI bus and copy bandwidth become the bottleneck, which is
+  what produces the paper's up-to-5x slowdown.
+* **front-end delivery**: FC -> PCI -> front-end CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from ..disk import DiskDrive
+from ..diskos import DiskMemory
+from ..host import Cpu, scaled_os_params
+from ..interconnect import FibreSwitch, SerialBus, dual_fc_al
+from ..sim import Event, Server, Simulator
+from .base import Machine, WorkLatch
+from .config import ActiveDiskConfig
+from .program import Phase, TaskProgram
+
+__all__ = ["ActiveDiskNode", "FrontEnd", "ActiveDiskMachine"]
+
+#: Per-byte cost of staging data through front-end memory (one copy),
+#: in ns at the reference clock. Charged once on receive and once more
+#: on re-send when the restricted communication mode relays a shuffle.
+FRONTEND_COPY_NS = 10.0
+
+#: Extra per-byte cost of *relaying* peer traffic through the front-end
+#: in the restricted communication mode (Section 4.4): the data enters
+#: and leaves through the full host network stack — kernel buffering,
+#: header processing and flow control on top of the raw copy. Charged on
+#: each relay leg in addition to :data:`FRONTEND_COPY_NS`.
+RELAY_HANDLING_NS = 15.0
+
+#: DiskOS request-handling overhead per media request, seconds at 200 MHz.
+DISKOS_REQUEST_OVERHEAD = 30e-6
+
+
+class ActiveDiskNode:
+    """One disk unit: spindle + embedded CPU + DiskOS memory."""
+
+    def __init__(self, sim: Simulator, config: ActiveDiskConfig, index: int):
+        self.index = index
+        self.drive = DiskDrive(sim, config.drive_for(index),
+                               name=f"adisk{index}")
+        self.cpu = Cpu(sim, config.disk_cpu_mhz, name=f"adcpu{index}")
+        self.memory = DiskMemory(
+            config.disk_memory_bytes,
+            direct_disk_to_disk=config.direct_disk_to_disk,
+            io_buffer_bytes=config.io_request_bytes)
+        layout = self.memory.layout()
+        self.comm_credits = Server(
+            sim, capacity=layout.comm_buffers, name=f"adcredit{index}")
+        self.read_cursors: Dict = {}
+        half = self.drive.geometry.total_sectors // 2
+        self.write_cursor = half
+        self._write_base = half
+
+    def next_read_lbn(self, key, sectors: int, stream: int,
+                      stream_stride: int) -> int:
+        """Sequential cursor per (phase, stream) over the data region."""
+        cursor_key = (key, stream)
+        if cursor_key not in self.read_cursors:
+            self.read_cursors[cursor_key] = stream * stream_stride
+        lbn = self.read_cursors[cursor_key]
+        self.read_cursors[cursor_key] = lbn + sectors
+        return lbn % max(1, self._write_base - sectors)
+
+    def next_write_lbn(self, sectors: int) -> int:
+        lbn = self.write_cursor
+        self.write_cursor += sectors
+        capacity = self.drive.geometry.total_sectors
+        if self.write_cursor + sectors >= capacity:
+            self.write_cursor = self._write_base
+        return lbn
+
+
+class FrontEnd:
+    """The front-end host: CPU + PCI bus behind its FC host adaptor."""
+
+    def __init__(self, sim: Simulator, config: ActiveDiskConfig):
+        self.cpu = Cpu(sim, config.frontend_cpu_mhz, name="fe-cpu")
+        self.pci = SerialBus(sim, config.frontend_pci_rate,
+                             startup=1e-6, name="fe-pci")
+        self.os_params = scaled_os_params(config.frontend_cpu_mhz)
+        self.bytes_received = 0
+        self.bytes_relayed = 0
+
+
+class _LoopFabric:
+    """Adapter giving the dual FC-AL the (src, dst)-addressed interface."""
+
+    def __init__(self, group):
+        self.group = group
+
+    def transfer(self, src: int, dst: int, nbytes: int):
+        yield from self.group.transfer(nbytes)
+
+    def bytes_moved(self) -> float:
+        return self.group.bytes_moved()
+
+    def utilization(self) -> float:
+        return self.group.utilization()
+
+
+class _EthernetFabric:
+    """NASD-style fabric: every disk a host on a switched fat-tree.
+
+    Gives each disk a private 100 Mb/s access link (12.5 MB/s) but a
+    bisection that grows with the farm — the inverse trade-off of the
+    FC loop, and the design point Gibson et al.'s network-attached
+    secure disks occupy in the paper's related work.
+    """
+
+    def __init__(self, sim, devices: int):
+        from ..net import FatTree, Network
+        self.tree = FatTree(sim, devices)
+        self.network = Network(self.tree)
+
+    def transfer(self, src: int, dst: int, nbytes: int):
+        yield from self.network.transfer(src, dst, nbytes)
+
+    def bytes_moved(self) -> float:
+        return self.network.bytes.value
+
+    def utilization(self) -> float:
+        links = [port.tx for port in self.tree.ports]
+        return sum(link.utilization() for link in links) / len(links)
+
+
+class ActiveDiskMachine(Machine):
+    """Executes task programs on the Active Disk architecture."""
+
+    arch = "active"
+
+    def __init__(self, sim: Simulator, config: ActiveDiskConfig):
+        super().__init__(sim, config)
+        self.config: ActiveDiskConfig = config
+        # Device ids on the fabric: disks 0..N-1, front-end adaptor N.
+        self.frontend_device = config.num_disks
+        if config.interconnect_kind == "fibreswitch":
+            self.fabric = FibreSwitch(
+                sim, devices=config.num_disks + 1,
+                segments=config.switch_segments,
+                loop_rate=config.interconnect_rate / 2)
+        elif config.interconnect_kind == "ethernet":
+            self.fabric = _EthernetFabric(
+                sim, devices=config.num_disks + 1)
+        else:
+            self.fabric = _LoopFabric(dual_fc_al(
+                sim, config.interconnect_rate,
+                loops=config.interconnect_loops))
+        self.nodes = [ActiveDiskNode(sim, config, i)
+                      for i in range(config.num_disks)]
+        self.frontend = FrontEnd(sim, config)
+        layout = self.nodes[0].memory.layout()
+        self.scratch_bytes = layout.scratch
+
+    # -- hooks -----------------------------------------------------------------
+    @property
+    def worker_count(self) -> int:
+        return self.config.num_disks
+
+    def worker_cpu(self, w: int) -> Cpu:
+        return self.nodes[w].cpu
+
+    def check_program(self, program: TaskProgram) -> None:
+        """Refuse programs whose scratch does not fit DiskOS memory."""
+        for phase in program.phases:
+            if phase.scratch_bytes > self.scratch_bytes:
+                raise ValueError(
+                    f"{program.task}/{phase.name}: scratch "
+                    f"{phase.scratch_bytes} exceeds DiskOS scratch budget "
+                    f"{self.scratch_bytes}")
+
+    def run(self, program: TaskProgram):
+        self.check_program(program)
+        return super().run(program)
+
+    def read_block(self, phase: Phase, w: int, nbytes: int,
+                   stream: int) -> Generator[Event, Any, None]:
+        node = self.nodes[w]
+        sectors = (nbytes + 511) // 512
+        share = self.worker_share(phase, w)
+        stride = (share // max(1, phase.read_streams) + 511) // 512
+        lbn = node.next_read_lbn(phase.name, sectors, stream, stride)
+        yield from node.cpu.compute_raw(
+            DISKOS_REQUEST_OVERHEAD, bucket=f"{phase.name}:diskos")
+        yield node.drive.read(lbn, nbytes)
+
+    def write_block(self, phase: Phase, w: int,
+                    nbytes: int) -> Generator[Event, Any, None]:
+        node = self.nodes[w]
+        sectors = (nbytes + 511) // 512
+        lbn = node.next_write_lbn(sectors)
+        yield from node.cpu.compute_raw(
+            DISKOS_REQUEST_OVERHEAD, bucket=f"{phase.name}:diskos")
+        yield node.drive.write(lbn, nbytes)
+
+    def send_shuffle(self, phase: Phase, w: int, dst: int, nbytes: int,
+                     latch: WorkLatch) -> None:
+        latch.begin()
+        if dst == w:
+            self.sim.process(self._deliver_local(phase, w, nbytes, latch),
+                             name="ad-local")
+        elif self.config.direct_disk_to_disk:
+            self.sim.process(self._deliver_direct(phase, w, dst, nbytes, latch),
+                             name="ad-d2d")
+        else:
+            self.sim.process(
+                self._deliver_via_frontend(phase, w, dst, nbytes, latch),
+                name="ad-relay")
+
+    def send_frontend(self, phase: Phase, w: int, nbytes: int,
+                      latch: WorkLatch) -> None:
+        latch.begin()
+        self.sim.process(self._deliver_frontend(phase, w, nbytes, latch),
+                         name="ad-fe")
+
+    # -- delivery processes ------------------------------------------------------
+    def _deliver_local(self, phase: Phase, w: int, nbytes: int,
+                       latch: WorkLatch):
+        try:
+            yield from self.recv_work(phase, w, nbytes)
+        finally:
+            latch.done()
+
+    def _deliver_direct(self, phase: Phase, src: int, dst: int, nbytes: int,
+                        latch: WorkLatch):
+        try:
+            credit = self.nodes[dst].comm_credits
+            yield credit.request()
+            try:
+                yield from self.fabric.transfer(src, dst, nbytes)
+                yield from self.recv_work(phase, dst, nbytes)
+            finally:
+                credit.release()
+        finally:
+            latch.done()
+
+    def _deliver_via_frontend(self, phase: Phase, src: int, dst: int,
+                              nbytes: int, latch: WorkLatch):
+        fe = self.frontend
+        try:
+            leg_ns = FRONTEND_COPY_NS + RELAY_HANDLING_NS
+            # Leg 1: source disk -> front-end memory.
+            yield from self.fabric.transfer(src, self.frontend_device,
+                                            nbytes)
+            yield from fe.pci.transfer(nbytes)
+            yield from fe.cpu.compute(
+                leg_ns * 1e-9 * nbytes, bucket=f"{phase.name}:relay")
+            fe.bytes_relayed += nbytes
+            # Leg 2: front-end -> destination disk (gated by its buffers).
+            credit = self.nodes[dst].comm_credits
+            yield credit.request()
+            try:
+                yield from fe.cpu.compute(
+                    leg_ns * 1e-9 * nbytes, bucket=f"{phase.name}:relay")
+                yield from fe.pci.transfer(nbytes)
+                yield from self.fabric.transfer(self.frontend_device,
+                                                dst, nbytes)
+                yield from self.recv_work(phase, dst, nbytes)
+            finally:
+                credit.release()
+        finally:
+            latch.done()
+
+    def _deliver_frontend(self, phase: Phase, w: int, nbytes: int,
+                          latch: WorkLatch):
+        fe = self.frontend
+        try:
+            yield from self.fabric.transfer(w, self.frontend_device, nbytes)
+            yield from fe.pci.transfer(nbytes)
+            cost_ns = (FRONTEND_COPY_NS + phase.frontend_cpu_ns_per_byte)
+            yield from fe.cpu.compute(
+                cost_ns * 1e-9 * nbytes, bucket=f"{phase.name}:frontend")
+            fe.bytes_received += nbytes
+        finally:
+            latch.done()
+
+    def phase_barrier(self):
+        """Front-end coordination round: every disklet posts completion
+        and receives the next phase's initialization over the loop."""
+        fc_exchange = 250e-6 + 64 / 100e6  # FCP cost + tiny payload
+        cost = 2 * (fc_exchange + self.frontend.os_params.interrupt)
+        yield self.sim.timeout(cost)
+
+    # -- reporting ---------------------------------------------------------------
+    def collect_extras(self) -> Dict[str, float]:
+        return {
+            "fc_bytes": self.fabric.bytes_moved(),
+            "fc_utilization": self.fabric.utilization(),
+            "frontend_bytes": float(self.frontend.bytes_received),
+            "frontend_relay_bytes": float(self.frontend.bytes_relayed),
+            "frontend_cpu_utilization": self.frontend.cpu.utilization(),
+            "disk_bytes_read": float(
+                sum(n.drive.bytes_read for n in self.nodes)),
+            "disk_bytes_written": float(
+                sum(n.drive.bytes_written for n in self.nodes)),
+        }

@@ -1,0 +1,195 @@
+"""Configuration dataclasses for the three architectures (paper Section 2.1).
+
+Defaults reproduce the paper's core configurations exactly; the variant
+constructors produce the alternatives studied in Sections 4.2-4.4
+(400 MB/s interconnect, 64/128 MB disk memory, 1 GHz front-end,
+front-end-only communication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from ..disk import SEAGATE_ST39102, DriveSpec
+from ..net import EthernetParams
+
+__all__ = [
+    "MB", "GB",
+    "ArchConfig", "ActiveDiskConfig", "ClusterConfig", "SMPConfig",
+    "CORE_SIZES",
+]
+
+KB = 1_024
+MB = 1_000_000
+GB = 1_000_000_000
+
+#: Disk counts of the paper's core experiments.
+CORE_SIZES = (16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Parameters shared by all three architectures."""
+
+    num_disks: int = 16
+    drive: DriveSpec = SEAGATE_ST39102
+    io_request_bytes: int = 256 * KB   # "large (256 KB) I/O requests"
+    queue_depth: int = 4               # "up to four asynchronous requests"
+    #: Heterogeneous-farm support: (disk index, spec) pairs overriding
+    #: ``drive`` for specific spindles (degraded/mixed-generation farms).
+    drive_overrides: Tuple[Tuple[int, DriveSpec], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_disks < 1:
+            raise ValueError(f"need at least one disk, got {self.num_disks}")
+        if self.io_request_bytes < 512:
+            raise ValueError(
+                f"request size below one sector: {self.io_request_bytes}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue depth must be >= 1: {self.queue_depth}")
+        for index, _spec in self.drive_overrides:
+            if not 0 <= index < self.num_disks:
+                raise ValueError(
+                    f"drive override index {index} out of range")
+
+    def drive_for(self, index: int) -> DriveSpec:
+        """The spec disk ``index`` uses (override or farm default)."""
+        for override_index, spec in self.drive_overrides:
+            if override_index == index:
+                return spec
+        return self.drive
+
+    def with_degraded_drive(self, index: int,
+                            spec: DriveSpec) -> "ArchConfig":
+        """A copy with one spindle replaced (straggler studies)."""
+        overrides = tuple(pair for pair in self.drive_overrides
+                          if pair[0] != index) + ((index, spec),)
+        return replace(self, drive_overrides=overrides)
+
+    @property
+    def arch(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ActiveDiskConfig(ArchConfig):
+    """Active Disk farm: embedded CPUs, dual FC-AL, front-end host."""
+
+    disk_cpu_mhz: float = 200.0            # Cyrix 6x86 200MX
+    disk_memory_bytes: int = 32 * MB       # SDRAM per disk unit
+    interconnect_rate: float = 200 * MB    # dual-loop FC-AL aggregate
+    interconnect_loops: int = 2
+    #: "dual_loop" = the paper's core FC-AL; "fibreswitch" = the paper's
+    #: recommended scale-out fabric (Section 6): one loop per segment
+    #: behind a crossbar, bisection growing with segment count;
+    #: "ethernet" = NASD-style network-attached disks on the cluster's
+    #: switched fat-tree (each disk gets a 100BaseT port).
+    interconnect_kind: str = "dual_loop"
+    switch_segments: int = 4
+    frontend_cpu_mhz: float = 450.0        # Pentium II front-end
+    frontend_memory_bytes: int = 1 * GB
+    frontend_pci_rate: float = 133 * MB
+    direct_disk_to_disk: bool = True       # SCSI-like peer addressing
+
+    @property
+    def arch(self) -> str:
+        return "active"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.interconnect_kind not in ("dual_loop", "fibreswitch",
+                                          "ethernet"):
+            raise ValueError(
+                f"unknown interconnect kind {self.interconnect_kind!r}")
+        if self.switch_segments < 1:
+            raise ValueError(
+                f"switch_segments must be >= 1: {self.switch_segments}")
+
+    def with_interconnect(self, rate: float) -> "ActiveDiskConfig":
+        """Section 4.2 variant: scale the serial interconnect."""
+        return replace(self, interconnect_rate=rate)
+
+    def with_fibreswitch(self, segments: int = 4) -> "ActiveDiskConfig":
+        """Section 6 variant: loops-behind-a-FibreSwitch fabric."""
+        return replace(self, interconnect_kind="fibreswitch",
+                       switch_segments=segments)
+
+    def with_ethernet(self) -> "ActiveDiskConfig":
+        """NASD-style variant: disks as network-attached nodes on the
+        cluster's switched fat-tree (100 Mb/s per disk)."""
+        return replace(self, interconnect_kind="ethernet")
+
+    def with_memory(self, nbytes: int) -> "ActiveDiskConfig":
+        """Section 4.3 variant: scale per-disk memory."""
+        return replace(self, disk_memory_bytes=nbytes)
+
+    def with_frontend_mhz(self, mhz: float) -> "ActiveDiskConfig":
+        """Section 2.1 variant: scale the front-end processor."""
+        return replace(self, frontend_cpu_mhz=mhz)
+
+    def restricted(self) -> "ActiveDiskConfig":
+        """Section 4.4 variant: all communication through the front-end."""
+        return replace(self, direct_disk_to_disk=False)
+
+
+@dataclass(frozen=True)
+class ClusterConfig(ArchConfig):
+    """Commodity PC cluster: one disk per node, switched Fast Ethernet."""
+
+    node_cpu_mhz: float = 300.0            # Pentium II per node
+    node_memory_bytes: int = 128 * MB
+    node_usable_memory: int = 104 * MB     # after the measured OS footprint
+    pci_rate: float = 133 * MB
+    scsi_rate: float = 80 * MB             # Ultra2 SCSI to the private disk
+    ethernet: EthernetParams = field(default_factory=EthernetParams)
+    frontend_cpu_mhz: float = 450.0
+    async_receives: int = 16               # posted receives per node
+
+    @property
+    def arch(self) -> str:
+        return "cluster"
+
+    @property
+    def num_nodes(self) -> int:
+        """One disk per node; the front-end is an additional host."""
+        return self.num_disks
+
+
+@dataclass(frozen=True)
+class SMPConfig(ArchConfig):
+    """ccNUMA SMP (Origin 2000-like) with a conventional disk farm."""
+
+    cpu_mhz: float = 250.0                 # two per board
+    cpus_per_board: int = 2
+    memory_per_board: int = 128 * MB       # scales with processors
+    numa_latency: float = 1e-6
+    numa_link_rate: float = 780 * MB
+    bte_rate: float = 521 * MB             # block-transfer engine, sustained
+    xio_nodes: int = 2
+    xio_total_rate: float = 1_400 * MB
+    io_interconnect_rate: float = 200 * MB  # dual FC-AL, same as Active Disks
+    io_interconnect_loops: int = 2
+    stripe_chunk_bytes: int = 64 * KB
+    spinlock_cost: float = 1e-6            # shared block-queue lock
+
+    @property
+    def arch(self) -> str:
+        return "smp"
+
+    @property
+    def num_cpus(self) -> int:
+        """Processor count equals disk count (the paper's scaling rule)."""
+        return self.num_disks
+
+    @property
+    def num_boards(self) -> int:
+        return (self.num_cpus + self.cpus_per_board - 1) // self.cpus_per_board
+
+    @property
+    def total_memory(self) -> int:
+        return self.num_boards * self.memory_per_board
+
+    def with_interconnect(self, rate: float) -> "SMPConfig":
+        """Section 4.2 variant: scale the FC I/O interconnect."""
+        return replace(self, io_interconnect_rate=rate)

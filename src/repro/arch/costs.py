@@ -1,0 +1,98 @@
+"""Cost model for the three architectures (paper Table 1 + Section 2.2).
+
+Component prices are the paper's published figures (pricewatch.com /
+streetprices.com retail, tracked at three dates over one year). The
+configuration cost formulas reproduce Table 1's totals:
+
+* Active Disk node = disk + embedded CPU + SDRAM + interconnect port +
+  high-end-component premium; plus one FC host adaptor and one front-end.
+* Cluster node = disk + monitor-less PC + network port; plus a front-end.
+* The SMP figure is the paper's estimate for a 64-processor Origin 2000
+  with 4 GB: $1.8 M list for the 8 GB machine minus a generous $300 K for
+  the 4 GB difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "ComponentPrices", "PRICE_DATES", "PRICES",
+    "active_disk_cost", "cluster_cost", "smp_cost_estimate",
+    "cost_table",
+]
+
+PRICE_DATES = ("8/98", "11/98", "7/99")
+
+
+@dataclass(frozen=True)
+class ComponentPrices:
+    """Per-item component prices at one date (US dollars)."""
+
+    date: str
+    disk: float                 # Seagate ST39102
+    embedded_cpu: float         # Cyrix 6x86 200 MHz
+    sdram_32mb: float
+    interconnect_port: float    # FC-AL, per port
+    premium: float              # high-end component premium, per drive
+    fc_host_adaptor: float      # Emulex LP3000-class
+    frontend: float             # complete front-end system
+    cluster_node: float         # monitor-less Micron ClientPro, complete
+    network_port: float         # two-level 3Com SuperStack, per port
+
+
+#: The paper's Table 1 price points.
+PRICES: Dict[str, ComponentPrices] = {
+    "8/98": ComponentPrices(
+        date="8/98", disk=670, embedded_cpu=32, sdram_32mb=38,
+        interconnect_port=60, premium=150, fc_host_adaptor=600,
+        frontend=9_000, cluster_node=1_500, network_port=300),
+    "11/98": ComponentPrices(
+        date="11/98", disk=540, embedded_cpu=30, sdram_32mb=30,
+        interconnect_port=60, premium=150, fc_host_adaptor=600,
+        frontend=6_000, cluster_node=1_300, network_port=300),
+    "7/99": ComponentPrices(
+        date="7/99", disk=470, embedded_cpu=22, sdram_32mb=18,
+        interconnect_port=60, premium=150, fc_host_adaptor=600,
+        frontend=4_200, cluster_node=1_150, network_port=300),
+}
+
+
+def active_disk_cost(num_disks: int, date: str = "7/99",
+                     memory_mb: int = 32) -> float:
+    """Total price of an Active Disk configuration.
+
+    Memory beyond the base 32 MB is priced at the same $/MB as the base
+    SDRAM module (used by the Section 4.3 what-if ablations).
+    """
+    prices = PRICES[date]
+    per_disk = (prices.disk + prices.embedded_cpu
+                + prices.sdram_32mb * (memory_mb / 32.0)
+                + prices.interconnect_port + prices.premium)
+    return num_disks * per_disk + prices.fc_host_adaptor + prices.frontend
+
+
+def cluster_cost(num_nodes: int, date: str = "7/99") -> float:
+    """Total price of a commodity-cluster configuration."""
+    prices = PRICES[date]
+    per_node = prices.disk + prices.cluster_node + prices.network_port
+    return num_nodes * per_node + prices.frontend
+
+
+def smp_cost_estimate(num_cpus: int = 64) -> float:
+    """The paper's SMP estimate, scaled linearly in processor count.
+
+    $1.5 M for the 64-processor / 4 GB Origin 2000 studied in the paper.
+    """
+    return 1_500_000 * (num_cpus / 64.0)
+
+
+def cost_table(num_disks: int = 64) -> List[Tuple[str, float, float, float]]:
+    """Rows of Table 1: (date, active_total, cluster_total, ratio)."""
+    rows = []
+    for date in PRICE_DATES:
+        active = active_disk_cost(num_disks, date)
+        cluster = cluster_cost(num_disks, date)
+        rows.append((date, active, cluster, active / cluster))
+    return rows

@@ -1,0 +1,218 @@
+"""Command-line interface: run tasks and regenerate the paper's results.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --arch active --disks 64 --task sort --scale 1/32
+    python -m repro run --arch active --disks 64 --task sort --restricted
+    python -m repro fig1 --sizes 16,64 --tasks select,sort --scale 1/64
+    python -m repro fig3
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .arch import ActiveDiskConfig, MB
+from .experiments import (
+    config_for,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_table2,
+    run_task,
+)
+from .workloads import registered_tasks
+
+__all__ = ["main", "parse_scale"]
+
+DEFAULT_SCALE = "1/32"
+
+
+def parse_scale(text: str) -> float:
+    """Parse '1/32', '0.25' or '1' into a scale fraction."""
+    text = text.strip()
+    if "/" in text:
+        numerator, _, denominator = text.partition("/")
+        value = float(numerator) / float(denominator)
+    else:
+        value = float(text)
+    if not 0 < value <= 1:
+        raise argparse.ArgumentTypeError(
+            f"scale must be in (0, 1], got {text!r}")
+    return value
+
+
+def _parse_sizes(text: str) -> List[int]:
+    try:
+        return [int(token) for token in text.split(",") if token]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size list: {text!r}")
+
+
+def _parse_tasks(text: str) -> List[str]:
+    tasks = [token for token in text.split(",") if token]
+    unknown = set(tasks) - set(registered_tasks())
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown tasks: {', '.join(sorted(unknown))}")
+    return tasks
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Active Disks for Decision Support (HPCA 2000) — "
+                     "simulator and experiment harness"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list tasks and architectures")
+
+    everything = sub.add_parser(
+        "all", help="regenerate every table and figure in one report")
+    everything.add_argument("--scale", type=parse_scale,
+                            default=DEFAULT_SCALE)
+    everything.add_argument("--sizes", type=_parse_sizes, default=None)
+    everything.add_argument("--out", default=None,
+                            help="also write the report to this file")
+
+    scorecard = sub.add_parser(
+        "scorecard", help="check every paper claim, print pass/fail")
+    scorecard.add_argument("--scale", type=parse_scale, default="1/64")
+
+    run = sub.add_parser("run", help="simulate one task on one machine")
+    run.add_argument("--arch", choices=("active", "cluster", "smp"),
+                     required=True)
+    run.add_argument("--disks", type=int, default=64)
+    run.add_argument("--task", choices=registered_tasks(), required=True)
+    run.add_argument("--scale", type=parse_scale, default=DEFAULT_SCALE)
+    run.add_argument("--memory-mb", type=int, default=None,
+                     help="Active Disk memory per disk (default 32)")
+    run.add_argument("--interconnect-mb", type=float, default=None,
+                     help="I/O interconnect aggregate MB/s (default 200)")
+    run.add_argument("--restricted", action="store_true",
+                     help="route all Active Disk communication via the "
+                          "front-end (Section 4.4)")
+    run.add_argument("--fibreswitch", type=int, metavar="SEGMENTS",
+                     default=None,
+                     help="use a FibreSwitch fabric with this many loops")
+
+    for name, helptext, extras in (
+            ("fig1", "architecture comparison (Figure 1)", "sizes tasks"),
+            ("fig2", "interconnect bandwidth (Figure 2)", "sizes tasks"),
+            ("fig3", "sort breakdown (Figure 3)", "sizes"),
+            ("fig4", "disk memory (Figure 4)", "sizes tasks"),
+            ("fig5", "disk-to-disk communication (Figure 5)",
+             "sizes tasks"),
+            ("table1", "configuration costs (Table 1)", ""),
+            ("table2", "task datasets (Table 2)", "")):
+        cmd = sub.add_parser(name, help=helptext)
+        if name.startswith("fig"):
+            cmd.add_argument("--scale", type=parse_scale,
+                             default=DEFAULT_SCALE)
+        if "sizes" in extras:
+            cmd.add_argument("--sizes", type=_parse_sizes, default=None)
+        if "tasks" in extras:
+            cmd.add_argument("--tasks", type=_parse_tasks, default=None)
+        if name == "table1":
+            cmd.add_argument("--disks", type=int, default=64)
+    return parser
+
+
+def _scale_value(args) -> float:
+    scale = getattr(args, "scale", DEFAULT_SCALE)
+    return parse_scale(scale) if isinstance(scale, str) else scale
+
+
+def _command_list(_args) -> str:
+    lines = ["tasks:"]
+    lines.extend(f"  {task}" for task in registered_tasks())
+    lines.append("architectures:")
+    lines.extend(f"  {arch}" for arch in ("active", "cluster", "smp"))
+    return "\n".join(lines)
+
+
+def _command_run(args) -> str:
+    config = config_for(args.arch, args.disks)
+    if isinstance(config, ActiveDiskConfig):
+        if args.memory_mb:
+            config = config.with_memory(args.memory_mb * MB)
+        if args.restricted:
+            config = config.restricted()
+        if args.fibreswitch:
+            config = config.with_fibreswitch(args.fibreswitch)
+    if args.interconnect_mb:
+        config = config.with_interconnect(args.interconnect_mb * MB)
+    scale = _scale_value(args)
+    result = run_task(config, args.task, scale)
+    lines = [
+        f"{args.task} on {args.arch} / {args.disks} disks "
+        f"(scale {scale:g})",
+        f"elapsed: {result.elapsed:.3f} simulated seconds",
+    ]
+    for phase in result.phases:
+        parts = ", ".join(f"{k}={v:.0%}"
+                          for k, v in sorted(phase.fractions().items()))
+        lines.append(f"  phase {phase.name}: {phase.elapsed:.3f}s ({parts})")
+    for key, value in sorted(result.extras.items()):
+        lines.append(f"  {key}: {value:,.0f}"
+                     if value >= 100 else f"  {key}: {value:.3f}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_command_list(args))
+        return 0
+    if args.command == "run":
+        print(_command_run(args))
+        return 0
+    if args.command == "scorecard":
+        from .experiments import run_scorecard
+        results, table = run_scorecard(scale=_scale_value(args))
+        print(table)
+        return 0 if all(r.passed for r in results) else 1
+    if args.command == "all":
+        from .experiments import run_all
+        report = run_all(scale=_scale_value(args), sizes=args.sizes)
+        print(report)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report + "\n")
+        return 0
+    if args.command == "table1":
+        print(run_table1(args.disks))
+        return 0
+    if args.command == "table2":
+        print(run_table2())
+        return 0
+    scale = _scale_value(args)
+    if args.command == "fig1":
+        print(run_fig1(sizes=args.sizes or (16, 32, 64, 128),
+                       tasks=args.tasks, scale=scale).render())
+    elif args.command == "fig2":
+        print(run_fig2(sizes=args.sizes or (64, 128),
+                       tasks=args.tasks, scale=scale).render())
+    elif args.command == "fig3":
+        print(run_fig3(sizes=args.sizes or (16, 32, 64, 128),
+                       scale=scale).render())
+    elif args.command == "fig4":
+        print(run_fig4(sizes=args.sizes or (16, 32, 64, 128),
+                       tasks=args.tasks, scale=scale).render())
+    elif args.command == "fig5":
+        print(run_fig5(sizes=args.sizes or (32, 64, 128),
+                       tasks=args.tasks, scale=scale).render())
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.command)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""DiskSim-style drive model: zoned geometry, mechanics, cache, drive."""
+
+from .cache import CacheOutcome, Segment, SegmentedCache
+from .drive import DiskDrive, DiskRequest
+from .geometry import DiskGeometry, Zone
+from .mechanics import DiskMechanics, SeekCurve
+from .scheduler import DISCIPLINES, RequestQueue
+from .specs import HITACHI_DK3E1T91, SEAGATE_ST39102, DriveSpec, fast_variant
+
+__all__ = [
+    "DriveSpec", "SEAGATE_ST39102", "HITACHI_DK3E1T91", "fast_variant",
+    "DiskGeometry", "Zone",
+    "DiskMechanics", "SeekCurve",
+    "SegmentedCache", "Segment", "CacheOutcome",
+    "RequestQueue", "DISCIPLINES",
+    "DiskDrive", "DiskRequest",
+]

@@ -1,0 +1,212 @@
+"""The disk drive as a simulation process.
+
+A :class:`DiskDrive` owns the geometry, mechanics, segmented cache and
+request queue of one spindle, and runs a service loop that, per request:
+
+1. charges the controller's fixed command overhead;
+2. consults the cache — buffer hit (no media work), streaming continuation
+   (media transfer only) or full positioning (seek + rotational wait +
+   media transfer);
+3. completes the request's event.
+
+Interface (SCSI/FC) transfer time is deliberately **not** modelled here:
+the interconnect a drive sits on is a shared resource owned by the
+architecture model (dual FC-AL for Active Disks and SMPs, private
+Ultra2 SCSI + PCI for cluster nodes), which charges it separately. The
+drive accounts media-side time only, which is what the published
+"media transfer rate" measures.
+
+Time accounting lands in a :class:`~repro.sim.stats.BusyTracker` with
+buckets ``seek``, ``rotate``, ``transfer``, ``overhead`` so experiment
+drivers can build breakdowns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Optional
+
+from ..sim import BusyTracker, Event, Simulator, Store, Tally
+from .cache import SegmentedCache
+from .geometry import DiskGeometry
+from .mechanics import DiskMechanics
+from .scheduler import RequestQueue
+from .specs import DriveSpec
+
+__all__ = ["DiskRequest", "DiskDrive"]
+
+
+@dataclass
+class DiskRequest:
+    """One read or write of ``nbytes`` starting at sector ``lbn``."""
+
+    op: str                    # "read" | "write"
+    lbn: int
+    nbytes: int
+    done: Event
+    issued_at: float
+    cylinder: int = 0          # filled in at submit time, used by schedulers
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write"):
+            raise ValueError(f"bad op {self.op!r}")
+        if self.nbytes <= 0:
+            raise ValueError(f"bad request size {self.nbytes}")
+        if self.lbn < 0:
+            raise ValueError(f"negative LBN {self.lbn}")
+
+    @property
+    def sectors(self) -> int:
+        return ceil(self.nbytes / 512)
+
+
+class DiskDrive:
+    """One spindle: mechanics + cache + queue + service-loop process.
+
+    ``write_policy`` selects how writes complete:
+
+    * ``"through"`` (default, and what every paper experiment uses):
+      a write completes after its media work — the safe setting the
+      decision-support tasks assume for run files and outputs.
+    * ``"back"``: a write completes once buffered; media work happens
+      during idle time (or synchronously once dirty data would exceed
+      the buffer). Latency improves for bursty writers; sustained
+      throughput is unchanged because the platters still do the work.
+    """
+
+    def __init__(self, sim: Simulator, spec: DriveSpec,
+                 discipline: str = "fcfs", name: str = "disk",
+                 write_policy: str = "through"):
+        if write_policy not in ("through", "back"):
+            raise ValueError(
+                f"unknown write policy {write_policy!r}; "
+                f"pick 'through' or 'back'")
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.write_policy = write_policy
+        self._dirty: "deque" = deque()
+        self._dirty_bytes = 0
+        self.geometry = DiskGeometry(spec)
+        self.mechanics = DiskMechanics(spec, self.geometry)
+        segment_sectors = max(
+            1, spec.cache_bytes // spec.cache_segments // spec.sector_bytes)
+        self.cache = SegmentedCache(spec.cache_segments, segment_sectors)
+        self.queue = RequestQueue(discipline)
+        self.current_cylinder = 0
+        self.head_lbn = 0
+        self.busy = BusyTracker(name)
+        self.response_times = Tally(f"{name}.response")
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self._wakeup: Optional[Event] = None
+        self._idle_since = sim.now
+        self.process = sim.process(self._service_loop(), name=f"{name}-svc")
+
+    # -- public API --------------------------------------------------------
+    def submit(self, op: str, lbn: int, nbytes: int) -> Event:
+        """Queue a request; the returned event fires at completion."""
+        sectors = ceil(nbytes / self.spec.sector_bytes)
+        if lbn + sectors > self.geometry.total_sectors:
+            raise ValueError(
+                f"{self.name}: request [{lbn}, {lbn + sectors}) beyond "
+                f"capacity {self.geometry.total_sectors} sectors")
+        request = DiskRequest(
+            op=op, lbn=lbn, nbytes=nbytes,
+            done=Event(self.sim), issued_at=self.sim.now)
+        request.cylinder, _, _ = self.geometry.lbn_to_chs(lbn)
+        self.queue.push(request)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return request.done
+
+    def read(self, lbn: int, nbytes: int) -> Event:
+        return self.submit("read", lbn, nbytes)
+
+    def write(self, lbn: int, nbytes: int) -> Event:
+        return self.submit("write", lbn, nbytes)
+
+    def utilization(self) -> float:
+        """Fraction of time spent on media work so far."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.busy.total() / self.sim.now
+
+    # -- service loop --------------------------------------------------------
+    def _service_loop(self):
+        while True:
+            while not len(self.queue):
+                if self._dirty:
+                    # Idle time: destage one buffered write to media.
+                    yield from self._flush_one()
+                    continue
+                self._wakeup = Event(self.sim)
+                yield self._wakeup
+                self._wakeup = None
+            request = self.queue.pop_next(self.current_cylinder)
+            yield from self._service(request)
+
+    def _flush_one(self):
+        """Destage the oldest dirty extent (write-back policy)."""
+        lbn, nbytes = self._dirty.popleft()
+        self._dirty_bytes -= nbytes
+        yield from self._media_work("write", lbn, nbytes)
+
+    def _media_work(self, op: str, lbn: int, nbytes: int):
+        """Positioning + transfer for one extent, cache-aware."""
+        sectors = ceil(nbytes / self.spec.sector_bytes)
+        outcome = self.cache.lookup(op, lbn, lbn + sectors)
+        write = op == "write"
+        if outcome.buffer_hit:
+            return
+        if not (outcome.streaming and self.head_lbn == lbn):
+            delay, cylinder = self.mechanics.positioning_time(
+                self.sim.now, self.current_cylinder, lbn, write)
+            seek = self.mechanics.seek_time(
+                self.current_cylinder, cylinder, write)
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self.busy.charge("seek", seek)
+            self.busy.charge("rotate", delay - seek)
+            self.current_cylinder = cylinder
+        transfer = self.mechanics.transfer_time(lbn, nbytes)
+        if transfer > 0:
+            yield self.sim.timeout(transfer)
+        self.busy.charge("transfer", transfer)
+        end = lbn + sectors
+        self.current_cylinder, _, _ = self.geometry.lbn_to_chs(end - 1)
+        self.head_lbn = end
+
+    def _service(self, request: DiskRequest):
+        spec = self.spec
+        if spec.controller_overhead > 0:
+            yield self.sim.timeout(spec.controller_overhead)
+            self.busy.charge("overhead", spec.controller_overhead)
+
+        write = request.op == "write"
+        if write and self.write_policy == "back":
+            # Buffer the write; destage lazily. Once dirty data would
+            # overflow the buffer the writer waits for destaging —
+            # write-back hides latency, never sustained throughput.
+            while (self._dirty
+                   and self._dirty_bytes + request.nbytes
+                   > self.spec.cache_bytes):
+                yield from self._flush_one()
+            self._dirty.append((request.lbn, request.nbytes))
+            self._dirty_bytes += request.nbytes
+        else:
+            # A tracked stream only avoids positioning when the head is
+            # still parked at the continuation point; interleaved streams
+            # (read + write zones, many merge runs) move it away and pay
+            # a seek + rotational wait per switch (see _media_work).
+            yield from self._media_work(request.op, request.lbn,
+                                        request.nbytes)
+
+        if write:
+            self.bytes_written += request.nbytes
+        else:
+            self.bytes_read += request.nbytes
+        self.response_times.observe(self.sim.now - request.issued_at)
+        request.done.succeed(request)

@@ -1,0 +1,141 @@
+"""Zoned disk geometry: LBN to physical-position mapping.
+
+Modern drives put more sectors on the (longer) outer tracks than the inner
+ones; the drive is divided into *zones* of cylinders that share a
+sectors-per-track count. This module derives a zone table from a
+:class:`~repro.disk.specs.DriveSpec` and maps logical block numbers (LBNs)
+to ``(cylinder, head, sector)`` coordinates — which the mechanical model
+needs for seek distances and rotational offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .specs import DriveSpec
+
+__all__ = ["Zone", "DiskGeometry"]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A contiguous band of cylinders sharing a sectors-per-track count."""
+
+    index: int
+    first_cylinder: int
+    last_cylinder: int          # inclusive
+    sectors_per_track: int
+    first_lbn: int              # first LBN mapped into this zone
+
+    @property
+    def cylinder_count(self) -> int:
+        return self.last_cylinder - self.first_cylinder + 1
+
+    def sector_count(self, heads: int) -> int:
+        return self.cylinder_count * heads * self.sectors_per_track
+
+
+class DiskGeometry:
+    """Derived zone table plus LBN translation for one drive model.
+
+    LBNs are assigned outer-zone first (zone 0 = outermost = fastest),
+    track-major within a cylinder, matching the conventional mapping that
+    makes low LBNs the fastest part of the drive.
+    """
+
+    def __init__(self, spec: DriveSpec):
+        self.spec = spec
+        self.zones: List[Zone] = []
+        self._build_zones()
+        last = self.zones[-1]
+        self.total_sectors = last.first_lbn + last.sector_count(spec.heads)
+        self.capacity_bytes = self.total_sectors * spec.sector_bytes
+
+    def _build_zones(self) -> None:
+        spec = self.spec
+        base = spec.cylinders // spec.zones
+        remainder = spec.cylinders % spec.zones
+        cylinder = 0
+        lbn = 0
+        for index in range(spec.zones):
+            count = base + (1 if index < remainder else 0)
+            fraction = (index + 0.5) / spec.zones
+            spt = spec.sectors_per_track_at(fraction)
+            zone = Zone(
+                index=index,
+                first_cylinder=cylinder,
+                last_cylinder=cylinder + count - 1,
+                sectors_per_track=spt,
+                first_lbn=lbn,
+            )
+            self.zones.append(zone)
+            cylinder += count
+            lbn += zone.sector_count(spec.heads)
+
+    # -- translation ------------------------------------------------------
+    def zone_of_lbn(self, lbn: int) -> Zone:
+        """The zone containing ``lbn`` (binary search over zone bounds)."""
+        self._check_lbn(lbn)
+        lo, hi = 0, len(self.zones) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.zones[mid].first_lbn <= lbn:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.zones[lo]
+
+    def lbn_to_chs(self, lbn: int) -> Tuple[int, int, int]:
+        """Map an LBN to ``(cylinder, head, sector)``."""
+        zone = self.zone_of_lbn(lbn)
+        offset = lbn - zone.first_lbn
+        spt = zone.sectors_per_track
+        heads = self.spec.heads
+        cylinder_size = spt * heads
+        cylinder = zone.first_cylinder + offset // cylinder_size
+        within = offset % cylinder_size
+        head = within // spt
+        sector = within % spt
+        return cylinder, head, sector
+
+    def chs_to_lbn(self, cylinder: int, head: int, sector: int) -> int:
+        """Inverse of :meth:`lbn_to_chs`."""
+        zone = self._zone_of_cylinder(cylinder)
+        spt = zone.sectors_per_track
+        if not 0 <= head < self.spec.heads:
+            raise ValueError(f"head out of range: {head}")
+        if not 0 <= sector < spt:
+            raise ValueError(f"sector out of range for zone: {sector}")
+        cylinder_offset = cylinder - zone.first_cylinder
+        return (zone.first_lbn
+                + cylinder_offset * spt * self.spec.heads
+                + head * spt
+                + sector)
+
+    def _zone_of_cylinder(self, cylinder: int) -> Zone:
+        if not 0 <= cylinder < self.spec.cylinders:
+            raise ValueError(f"cylinder out of range: {cylinder}")
+        for zone in self.zones:
+            if zone.first_cylinder <= cylinder <= zone.last_cylinder:
+                return zone
+        raise AssertionError("zone table does not cover all cylinders")
+
+    def media_rate_at_lbn(self, lbn: int) -> float:
+        """Sustained media transfer rate (bytes/s) at ``lbn``'s zone."""
+        zone = self.zone_of_lbn(lbn)
+        bytes_per_rev = zone.sectors_per_track * self.spec.sector_bytes
+        return bytes_per_rev / self.spec.revolution_time
+
+    def angle_of(self, lbn: int) -> float:
+        """Angular position of ``lbn`` on its track, in [0, 1)."""
+        zone = self.zone_of_lbn(lbn)
+        _, _, sector = self.lbn_to_chs(lbn)
+        return sector / zone.sectors_per_track
+
+    def _check_lbn(self, lbn: int) -> None:
+        if not 0 <= lbn < getattr(self, "total_sectors", float("inf")):
+            raise ValueError(
+                f"LBN {lbn} out of range [0, {self.total_sectors})")
+        if lbn < 0:
+            raise ValueError(f"negative LBN: {lbn}")

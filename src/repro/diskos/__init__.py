@@ -1,0 +1,19 @@
+"""DiskOS: the Active Disk runtime — streams, disklets, memory budget."""
+
+from .disklet import Disklet
+from .memory import BASE_COMM_BUFFERS, BASE_MEMORY, DiskMemory, MemoryLayout
+from .runtime import (
+    DiskletStage,
+    phase_from_disklet,
+    program_from_disklets,
+    validate_disklet,
+)
+from .scheduler import DiskletScheduler
+from .streams import SinkKind, StreamSpec
+
+__all__ = [
+    "Disklet", "StreamSpec", "SinkKind",
+    "DiskMemory", "MemoryLayout", "BASE_MEMORY", "BASE_COMM_BUFFERS",
+    "DiskletStage", "validate_disklet", "phase_from_disklet",
+    "program_from_disklets", "DiskletScheduler",
+]

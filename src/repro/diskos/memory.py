@@ -1,0 +1,78 @@
+"""Active Disk memory budget: DiskOS footprint, stream buffers, scratch.
+
+Active Disks are expected to carry at most two DRAM chips (paper
+Section 3), so DiskOS divides the small memory deliberately:
+
+* a fixed OS footprint (larger when direct disk-to-disk communication is
+  enabled, which "complicates the DiskOS and increases its memory
+  footprint" — Section 4.4);
+* per-stream I/O buffers;
+* OS buffers for inter-device communication — the paper doubles and
+  quadruples their number for the 64 MB and 128 MB configurations to
+  "tolerate longer communication and I/O latencies";
+* whatever remains is disklet scratch space (sort runs, hash tables),
+  granted at initialization — disklets cannot allocate memory at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryLayout", "DiskMemory"]
+
+MB = 1_000_000
+BASE_MEMORY = 32 * MB
+BASE_COMM_BUFFERS = 16
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """How one Active Disk's DRAM is carved up."""
+
+    total: int
+    os_footprint: int
+    stream_buffer_bytes: int
+    stream_buffers: int
+    comm_buffer_bytes: int
+    comm_buffers: int
+
+    @property
+    def scratch(self) -> int:
+        """Bytes left for disklet scratch space."""
+        used = (self.os_footprint
+                + self.stream_buffers * self.stream_buffer_bytes
+                + self.comm_buffers * self.comm_buffer_bytes)
+        return max(0, self.total - used)
+
+
+class DiskMemory:
+    """Budget calculator for one Active Disk."""
+
+    def __init__(self, total_bytes: int = BASE_MEMORY,
+                 direct_disk_to_disk: bool = True,
+                 io_buffer_bytes: int = 256 * 1024):
+        if total_bytes < 8 * MB:
+            raise ValueError(
+                f"Active Disk memory below the 8 MB DiskOS minimum: "
+                f"{total_bytes}")
+        self.total_bytes = total_bytes
+        self.direct_disk_to_disk = direct_disk_to_disk
+        self.io_buffer_bytes = io_buffer_bytes
+
+    def layout(self) -> MemoryLayout:
+        """The paper's scaling rule: comm buffers scale with total memory."""
+        os_footprint = 3 * MB if self.direct_disk_to_disk else 2 * MB
+        # Comm buffers double with each doubling of memory (Section 2.1).
+        scale = max(1, self.total_bytes // BASE_MEMORY)
+        comm_buffers = BASE_COMM_BUFFERS * scale
+        return MemoryLayout(
+            total=self.total_bytes,
+            os_footprint=os_footprint,
+            stream_buffer_bytes=self.io_buffer_bytes,
+            stream_buffers=4,          # double-buffered input + output
+            comm_buffer_bytes=self.io_buffer_bytes,
+            comm_buffers=comm_buffers,
+        )
+
+    def scratch_bytes(self) -> int:
+        return self.layout().scratch

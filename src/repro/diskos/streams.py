@@ -1,0 +1,78 @@
+"""The stream abstraction of the Active Disk programming model.
+
+Disklets are sandboxed: they cannot initiate I/O, cannot allocate memory,
+and cannot redirect where their streams come from or go to (paper,
+Section 3). A disklet sees only:
+
+* one **input stream** fed by DiskOS from the media (or from peer disks),
+* one or more **output streams**, each bound at initialization to a fixed
+  sink — the front-end host, a peer disk, the local media, or the bit
+  bucket (for data the disklet consumes, e.g. filtered-out tuples).
+
+A :class:`StreamSpec` describes an output as a *fraction* of the input
+volume (plus an optional fixed tail emitted at end-of-stream), which is
+how the trace generator expresses data reductions like select's 1 %
+selectivity or group-by's counter tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["SinkKind", "StreamSpec"]
+
+
+class SinkKind(Enum):
+    """Where an output stream is routed. Fixed at disklet initialization."""
+
+    DISCARD = "discard"      # consumed by the disklet (e.g. filtered out)
+    FRONTEND = "frontend"    # to the front-end host over the interconnect
+    PEER = "peer"            # to peer disks (requires direct disk-to-disk)
+    MEDIA = "media"          # written back to the local platters
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One output stream of a disklet.
+
+    Attributes
+    ----------
+    sink:
+        Where the stream's bytes go.
+    fraction:
+        Bytes emitted per input byte (0.01 for a 1 %-selective filter,
+        1.0 for a repartitioning shuffle).
+    fixed_bytes:
+        Bytes emitted once, at end of input (counter tables, partial
+        aggregates).
+    spread:
+        For PEER sinks: over how many peers the output is spread
+        (0 = all other disks, uniformly).
+    """
+
+    sink: SinkKind
+    fraction: float = 0.0
+    fixed_bytes: int = 0
+    spread: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fraction < 0:
+            raise ValueError(f"negative stream fraction: {self.fraction}")
+        if self.fixed_bytes < 0:
+            raise ValueError(f"negative fixed bytes: {self.fixed_bytes}")
+        if self.sink is SinkKind.DISCARD and (self.fraction or self.fixed_bytes):
+            raise ValueError("DISCARD streams carry no accounted bytes")
+
+    def bytes_for(self, input_bytes: int, input_total: int,
+                  emitted_fixed: bool) -> int:
+        """Output bytes owed for ``input_bytes`` of input.
+
+        ``emitted_fixed`` tells whether the fixed tail was already sent;
+        the caller emits it once when the input stream ends.
+        """
+        owed = int(round(self.fraction * input_bytes))
+        if not emitted_fixed and input_bytes >= input_total:
+            owed += self.fixed_bytes
+        return owed

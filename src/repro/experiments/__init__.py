@@ -1,0 +1,49 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from .figures import (
+    Fig1Result,
+    Fig2Result,
+    Fig3Result,
+    Fig4Result,
+    Fig5Result,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_table1,
+    run_table2,
+)
+from .export import (
+    fig1_rows,
+    fig2_rows,
+    fig3_rows,
+    fig4_rows,
+    fig5_rows,
+    rows_to_csv,
+    rows_to_json,
+)
+from .report import render_bars, render_grouped_bars, render_series, render_table
+from .scorecard import Claim, ClaimResult, paper_claims, run_scorecard
+from .summary import run_all
+from .runner import (
+    ARCHITECTURES,
+    DEFAULT_SCALE,
+    Sweep,
+    SweepCell,
+    config_for,
+    run_task,
+)
+
+__all__ = [
+    "ARCHITECTURES", "DEFAULT_SCALE", "config_for", "run_task",
+    "Sweep", "SweepCell",
+    "run_table1", "run_table2",
+    "run_fig1", "run_fig2", "run_fig3", "run_fig4", "run_fig5",
+    "Fig1Result", "Fig2Result", "Fig3Result", "Fig4Result", "Fig5Result",
+    "render_table", "render_series", "render_bars", "render_grouped_bars",
+    "run_all",
+    "fig1_rows", "fig2_rows", "fig3_rows", "fig4_rows", "fig5_rows",
+    "rows_to_csv", "rows_to_json",
+    "run_scorecard", "paper_claims", "Claim", "ClaimResult",
+]

@@ -1,0 +1,115 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+Every figure-result object renders human-readable tables; downstream
+analysis (plotting, regression tracking) wants structured data. This
+module flattens results to row dictionaries and serializes them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from .figures import Fig1Result, Fig2Result, Fig3Result, Fig4Result, Fig5Result
+
+__all__ = ["fig1_rows", "fig2_rows", "fig3_rows", "fig4_rows",
+           "fig5_rows", "rows_to_csv", "rows_to_json"]
+
+Row = Dict[str, object]
+
+
+def fig1_rows(result: Fig1Result) -> List[Row]:
+    rows: List[Row] = []
+    for size in result.sizes:
+        for task in result.tasks:
+            for arch in ("active", "cluster", "smp"):
+                rows.append({
+                    "figure": "fig1", "task": task, "arch": arch,
+                    "disks": size, "scale": result.scale,
+                    "elapsed_s": result.sweep.elapsed(task, arch, size),
+                    "normalized": result.normalized(task, arch, size),
+                })
+    return rows
+
+
+def fig2_rows(result: Fig2Result) -> List[Row]:
+    rows: List[Row] = []
+    for size in result.sizes:
+        for task in result.tasks:
+            for arch in ("active", "smp"):
+                for variant in ("200MB", "400MB"):
+                    rows.append({
+                        "figure": "fig2", "task": task, "arch": arch,
+                        "disks": size, "variant": variant,
+                        "scale": result.scale,
+                        "elapsed_s": result.sweep.elapsed(
+                            task, arch, size, variant),
+                        "normalized": result.normalized(
+                            task, arch, size, variant),
+                    })
+    return rows
+
+
+def fig3_rows(result: Fig3Result) -> List[Row]:
+    rows: List[Row] = []
+    for (size, variant), run in result.results.items():
+        for phase in run.phases:
+            fractions = phase.fractions()
+            for bucket, fraction in fractions.items():
+                rows.append({
+                    "figure": "fig3", "disks": size, "variant": variant,
+                    "phase": phase.name, "bucket": bucket,
+                    "fraction": fraction, "phase_elapsed_s": phase.elapsed,
+                    "scale": result.scale,
+                })
+    return rows
+
+
+def fig4_rows(result: Fig4Result) -> List[Row]:
+    rows: List[Row] = []
+    for (task, disks, memory), elapsed in result.elapsed.items():
+        row: Row = {
+            "figure": "fig4", "task": task, "disks": disks,
+            "memory_mb": memory, "elapsed_s": elapsed,
+            "scale": result.scale,
+        }
+        if memory != 32:
+            row["improvement_pct"] = result.improvement(
+                task, disks, memory)
+        rows.append(row)
+    return rows
+
+
+def fig5_rows(result: Fig5Result) -> List[Row]:
+    rows: List[Row] = []
+    for (task, disks, mode), elapsed in result.elapsed.items():
+        rows.append({
+            "figure": "fig5", "task": task, "disks": disks,
+            "mode": mode, "elapsed_s": elapsed,
+            "slowdown": result.slowdown(task, disks),
+            "scale": result.scale,
+        })
+    return rows
+
+
+def rows_to_csv(rows: List[Row]) -> str:
+    """Serialize rows to CSV text (union of all keys as header)."""
+    if not rows:
+        return ""
+    fields: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fields, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: List[Row]) -> str:
+    """Serialize rows to a JSON array."""
+    return json.dumps(rows, indent=2, sort_keys=True)

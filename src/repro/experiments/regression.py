@@ -1,0 +1,92 @@
+"""Regression comparison between two experiment result sets.
+
+Exported rows (``repro.experiments.export``) make result sets
+persistable; this module diffs two of them — a stored baseline and a
+fresh run — and reports cells whose timings moved beyond a tolerance.
+Intended for tracking the simulator itself across code changes (a
+calibration-drift alarm), not for comparing architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .report import render_table
+
+__all__ = ["Regression", "compare_rows", "render_regressions"]
+
+Row = Dict[str, object]
+
+#: Row fields that identify a cell (everything except measurements).
+KEY_FIELDS = ("figure", "task", "arch", "disks", "variant", "memory_mb",
+              "mode", "phase", "bucket")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One cell whose measurement moved."""
+
+    key: Tuple
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Relative change: +0.25 means 25 % slower/larger."""
+        if self.baseline == 0:
+            return float("inf") if self.current else 0.0
+        return (self.current - self.baseline) / self.baseline
+
+
+def _key_of(row: Row) -> Tuple:
+    return tuple((field, row[field]) for field in KEY_FIELDS
+                 if field in row)
+
+
+def compare_rows(baseline: Sequence[Row], current: Sequence[Row],
+                 metric: str = "elapsed_s",
+                 tolerance: float = 0.05) -> List[Regression]:
+    """Cells where ``metric`` moved more than ``tolerance`` (relative).
+
+    Cells present in only one set are ignored (they are schema changes,
+    not regressions); compare row counts separately if that matters.
+    """
+    if tolerance < 0:
+        raise ValueError(f"negative tolerance: {tolerance}")
+    base_index = {_key_of(row): row for row in baseline
+                  if metric in row}
+    regressions: List[Regression] = []
+    for row in current:
+        if metric not in row:
+            continue
+        key = _key_of(row)
+        base_row = base_index.get(key)
+        if base_row is None:
+            continue
+        base_value = float(base_row[metric])
+        value = float(row[metric])
+        denom = abs(base_value) if base_value else 1.0
+        if abs(value - base_value) / denom > tolerance:
+            regressions.append(Regression(
+                key=key, metric=metric,
+                baseline=base_value, current=value))
+    regressions.sort(key=lambda r: -abs(r.change))
+    return regressions
+
+
+def render_regressions(regressions: Sequence[Regression]) -> str:
+    if not regressions:
+        return "no regressions"
+    rows = []
+    for regression in regressions:
+        label = " ".join(f"{field}={value}"
+                         for field, value in regression.key)
+        rows.append((label, f"{regression.baseline:.4g}",
+                     f"{regression.current:.4g}",
+                     f"{regression.change:+.1%}"))
+    return render_table(
+        f"{len(regressions)} regression(s)",
+        ("cell", "baseline", "current", "change"),
+        rows)

@@ -1,0 +1,99 @@
+"""Experiment runner: build a machine, run a task, collect results.
+
+Every experiment driver goes through :func:`run_task`, which constructs a
+fresh simulator + machine per run (simulations are single-use), and
+:func:`config_for`, which maps an architecture name to its paper-default
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..arch import (
+    ActiveDiskConfig,
+    ArchConfig,
+    ClusterConfig,
+    RunResult,
+    SMPConfig,
+    build_machine,
+)
+from ..sim import Simulator
+from ..workloads import build_program, registered_tasks
+
+__all__ = ["ARCHITECTURES", "config_for", "run_task", "Sweep", "SweepCell"]
+
+ARCHITECTURES = ("active", "cluster", "smp")
+
+#: Default simulation scale for the experiment drivers: 1/16 of the
+#: paper's dataset sizes keeps a full figure sweep in the minutes range
+#: while preserving every bandwidth/compute ratio (see DESIGN.md).
+DEFAULT_SCALE = 1.0 / 16.0
+
+
+def config_for(arch: str, num_disks: int, **overrides) -> ArchConfig:
+    """The paper's core configuration for ``arch`` at ``num_disks``."""
+    if arch == "active":
+        return ActiveDiskConfig(num_disks=num_disks, **overrides)
+    if arch == "cluster":
+        return ClusterConfig(num_disks=num_disks, **overrides)
+    if arch == "smp":
+        return SMPConfig(num_disks=num_disks, **overrides)
+    raise ValueError(
+        f"unknown architecture {arch!r}; pick one of {ARCHITECTURES}")
+
+
+def run_task(config: ArchConfig, task: str,
+             scale: float = DEFAULT_SCALE) -> RunResult:
+    """Simulate ``task`` on a fresh machine built from ``config``."""
+    sim = Simulator()
+    machine = build_machine(sim, config)
+    program = build_program(task, config, scale)
+    return machine.run(program)
+
+
+@dataclass
+class SweepCell:
+    """One (task, config) cell of a sweep."""
+
+    task: str
+    arch: str
+    num_disks: int
+    variant: str
+    result: RunResult
+
+    @property
+    def elapsed(self) -> float:
+        return self.result.elapsed
+
+
+@dataclass
+class Sweep:
+    """A collection of runs, indexable by (task, arch, disks, variant)."""
+
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def add(self, cell: SweepCell) -> None:
+        self.cells.append(cell)
+
+    def get(self, task: str, arch: str, num_disks: int,
+            variant: str = "base") -> SweepCell:
+        for cell in self.cells:
+            if (cell.task == task and cell.arch == arch
+                    and cell.num_disks == num_disks
+                    and cell.variant == variant):
+                return cell
+        raise KeyError(
+            f"no cell ({task}, {arch}, {num_disks}, {variant}) in sweep")
+
+    def elapsed(self, task: str, arch: str, num_disks: int,
+                variant: str = "base") -> float:
+        return self.get(task, arch, num_disks, variant).elapsed
+
+    def tasks(self) -> Tuple[str, ...]:
+        seen = []
+        for cell in self.cells:
+            if cell.task not in seen:
+                seen.append(cell.task)
+        return tuple(seen)

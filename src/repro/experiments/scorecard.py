@@ -1,0 +1,138 @@
+"""Reproduction scorecard: every paper claim checked in one run.
+
+Each :class:`Claim` carries the paper's published band and a measurement
+function; :func:`run_scorecard` evaluates all of them at a given scale
+and renders a pass/fail table. This is the acceptance-test suite
+(tests/test_paper_claims.py) repackaged as a user-facing artifact:
+``python -m repro scorecard``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..arch import ActiveDiskConfig
+from ..arch.costs import cost_table
+from .report import render_table
+from .runner import config_for, run_task
+
+__all__ = ["Claim", "ClaimResult", "paper_claims", "run_scorecard"]
+
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One published claim: a measurement and the band it must land in."""
+
+    ref: str                   # where the paper states it
+    statement: str
+    low: float
+    high: float
+    measure: Callable[[float], float]    # scale -> measured value
+    unit: str = "x"
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: Claim
+    measured: float
+
+    @property
+    def passed(self) -> bool:
+        return self.claim.low <= self.measured <= self.claim.high
+
+
+def _ratio(task: str, disks: int, arch: str = "smp"):
+    def measure(scale: float) -> float:
+        base = run_task(config_for("active", disks), task, scale).elapsed
+        other = run_task(config_for(arch, disks), task, scale).elapsed
+        return other / base
+    return measure
+
+
+def _memory_improvement(task: str, disks: int):
+    def measure(scale: float) -> float:
+        base = run_task(ActiveDiskConfig(num_disks=disks), task,
+                        scale).elapsed
+        more = run_task(
+            ActiveDiskConfig(num_disks=disks).with_memory(64 * MB),
+            task, scale).elapsed
+        return 100.0 * (base - more) / base
+    return measure
+
+
+def _restricted_slowdown(task: str, disks: int):
+    def measure(scale: float) -> float:
+        direct = run_task(ActiveDiskConfig(num_disks=disks), task,
+                          scale).elapsed
+        relayed = run_task(
+            ActiveDiskConfig(num_disks=disks).restricted(), task,
+            scale).elapsed
+        return relayed / direct
+    return measure
+
+
+def _sort_idle(disks: int):
+    def measure(scale: float) -> float:
+        result = run_task(ActiveDiskConfig(num_disks=disks), "sort",
+                          scale)
+        return 100.0 * result.phases[0].fractions()["idle"]
+    return measure
+
+
+def _price_ratio(_scale: float) -> float:
+    rows = cost_table(64)
+    return sum(ratio for _, _, _, ratio in rows) / len(rows)
+
+
+def paper_claims() -> List[Claim]:
+    """The claims the scorecard checks (bands widened ~20 % for model
+    noise around the paper's point values)."""
+    return [
+        Claim("Table 1", "64-node AD price ~ half the cluster's",
+              0.35, 0.55, _price_ratio, unit=""),
+        Claim("Fig 1 (32)", "SMP 1.4-2.4x slower at 32 disks (sort)",
+              1.2, 2.6, _ratio("sort", 32)),
+        Claim("Fig 1 (128)", "select: SMP 8.5-9.5x slower at 128 disks",
+              6.0, 13.0, _ratio("select", 128)),
+        Claim("Fig 1 (128)", "sort: SMP 4-6x slower at 128 disks",
+              3.0, 7.0, _ratio("sort", 128)),
+        Claim("Fig 1 (128)", "group-by outlier: cluster >1.5x slower",
+              1.5, 10.0, _ratio("groupby", 128, arch="cluster")),
+        Claim("Fig 3(b)", "sort P1 idle small at 64 disks (%)",
+              0.0, 30.0, _sort_idle(64), unit="%"),
+        Claim("Fig 3(b)", "sort P1 idle dominates at 128 disks (%)",
+              45.0, 100.0, _sort_idle(128), unit="%"),
+        Claim("Fig 4", "dcube ~35% gain from 64 MB at 16 disks (%)",
+              25.0, 45.0, _memory_improvement("dcube", 16), unit="%"),
+        Claim("Fig 4", "sort <8% gain from 64 MB at 16 disks (%)",
+              -2.0, 8.0, _memory_improvement("sort", 16), unit="%"),
+        Claim("Fig 5", "sort up to ~5x slower via front-end (128)",
+              3.0, 5.5, _restricted_slowdown("sort", 128)),
+        Claim("Fig 5", "select unaffected by front-end routing (64)",
+              0.95, 1.05, _restricted_slowdown("select", 64)),
+    ]
+
+
+def run_scorecard(scale: float = 1 / 64,
+                  claims: Optional[Sequence[Claim]] = None
+                  ) -> Tuple[List[ClaimResult], str]:
+    """Evaluate all claims; returns (results, rendered table)."""
+    results = [ClaimResult(claim=claim, measured=claim.measure(scale))
+               for claim in (claims or paper_claims())]
+    rows = [
+        (r.claim.ref, r.claim.statement,
+         f"{r.claim.low:g}-{r.claim.high:g}{r.claim.unit}",
+         f"{r.measured:.2f}{r.claim.unit}",
+         "PASS" if r.passed else "FAIL")
+        for r in results
+    ]
+    passed = sum(r.passed for r in results)
+    table = render_table(
+        f"Reproduction scorecard: {passed}/{len(results)} claims pass "
+        f"(scale {scale:g})",
+        ("ref", "claim", "band", "measured", "verdict"),
+        rows)
+    return results, table

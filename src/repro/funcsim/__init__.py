@@ -1,0 +1,6 @@
+"""Functional co-simulation: real distributed algorithms on the models."""
+
+from .active import FunctionalActiveDisks
+from .engine import FunctionalCluster, RunStats
+
+__all__ = ["FunctionalCluster", "FunctionalActiveDisks", "RunStats"]

@@ -1,0 +1,28 @@
+"""Support counting for the distributed Apriori pass.
+
+Kept separate from the reference implementation
+(:mod:`repro.workloads.algorithms.apriori`) because the functional
+engine counts arbitrary candidate sets over arbitrary-size itemsets,
+whereas the reference counter is specialized to one candidate size per
+pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+__all__ = ["count_support"]
+
+
+def count_support(transactions: Sequence[Tuple[int, ...]],
+                  candidates: Iterable[Tuple[int, ...]]
+                  ) -> Dict[Tuple[int, ...], int]:
+    """Count how many transactions contain each candidate itemset."""
+    candidate_sets = [(tuple(c), frozenset(c)) for c in candidates]
+    counts: Dict[Tuple[int, ...], int] = {c: 0 for c, _ in candidate_sets}
+    for transaction in transactions:
+        items = set(transaction)
+        for candidate, as_set in candidate_sets:
+            if as_set <= items:
+                counts[candidate] += 1
+    return counts

@@ -1,0 +1,7 @@
+"""Queue-based serial I/O interconnect models (FC-AL, SCSI, PCI)."""
+
+from .bus import FC_STARTUP_LATENCY, BusGroup, SerialBus, dual_fc_al
+from .fibreswitch import FibreSwitch
+
+__all__ = ["SerialBus", "BusGroup", "dual_fc_al", "FC_STARTUP_LATENCY",
+           "FibreSwitch"]

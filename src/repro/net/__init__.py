@@ -1,0 +1,11 @@
+"""Netsim-style switched-network model and MPI-like messaging."""
+
+from .messaging import ANY_TAG, Mailbox, Message, Messaging
+from .network import Network
+from .topology import EthernetParams, FatTree, HostPort, LeafSwitch
+
+__all__ = [
+    "EthernetParams", "FatTree", "HostPort", "LeafSwitch",
+    "Network",
+    "Messaging", "Message", "Mailbox", "ANY_TAG",
+]

@@ -1,0 +1,235 @@
+"""MPI-like user-space messaging: async send/recv, barriers, reductions.
+
+Models the BSPlib-style library the paper assumes on clusters: pinned
+buffers, asynchronous operations and global synchronization. Messages are
+(src, tag, nbytes, payload) tuples; payloads are opaque simulation
+metadata (no actual data bytes are shuffled — only their costs).
+
+CPU overheads: each send and each receive completion charges a fixed
+software overhead on the caller's CPU when a per-host CPU server list is
+supplied (the cluster host model does), mirroring how Howsim charged
+user-space messaging costs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+
+from ..sim import Event, Server, Simulator
+from .network import Network
+
+__all__ = ["Message", "Mailbox", "Messaging", "ANY_TAG"]
+
+#: Wildcard receive tag (matches any message), like MPI_ANY_TAG.
+ANY_TAG = object()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message."""
+
+    src: int
+    dst: int
+    tag: Any
+    nbytes: int
+    payload: Any = None
+
+
+class Mailbox:
+    """Per-host tag-matched receive queue."""
+
+    def __init__(self, sim: Simulator, host: int):
+        self.sim = sim
+        self.host = host
+        self._messages: Deque[Message] = deque()
+        self._waiters: Deque[Tuple[Any, Event]] = deque()
+
+    def deliver(self, message: Message) -> None:
+        """Called by the transport when a message fully arrives."""
+        for i, (tag, event) in enumerate(self._waiters):
+            if tag is ANY_TAG or tag == message.tag:
+                del self._waiters[i]
+                event.succeed(message)
+                return
+        self._messages.append(message)
+
+    def receive(self, tag: Any = ANY_TAG) -> Event:
+        """Event that fires with the next message matching ``tag``."""
+        got = Event(self.sim)
+        for i, message in enumerate(self._messages):
+            if tag is ANY_TAG or tag == message.tag:
+                del self._messages[i]
+                got.succeed(message)
+                return got
+        self._waiters.append((tag, got))
+        return got
+
+    def pending(self) -> int:
+        return len(self._messages)
+
+
+class Messaging:
+    """Async messaging over a :class:`Network`, with global operations."""
+
+    def __init__(self, network: Network, num_hosts: int,
+                 send_overhead: float = 30e-6,
+                 recv_overhead: float = 30e-6,
+                 cpus: Optional[List[Server]] = None):
+        self.network = network
+        self.sim = network.sim
+        self.num_hosts = num_hosts
+        self.send_overhead = send_overhead
+        self.recv_overhead = recv_overhead
+        self.cpus = cpus
+        self.mailboxes = [Mailbox(self.sim, h) for h in range(num_hosts)]
+        self._barrier_waiting: Dict[Any, List[Event]] = {}
+
+    def _charge_cpu(self, host: int,
+                    seconds: float) -> Generator[Event, Any, None]:
+        if self.cpus is not None and seconds > 0:
+            yield from self.cpus[host].serve(seconds)
+        elif seconds > 0:
+            yield self.sim.timeout(seconds)
+
+    # -- point to point -----------------------------------------------------
+    def isend(self, src: int, dst: int, tag: Any, nbytes: int,
+              payload: Any = None) -> Event:
+        """Start an asynchronous send; the event fires on delivery."""
+
+        def _send() -> Generator[Event, Any, None]:
+            yield from self._charge_cpu(src, self.send_overhead)
+            yield from self.network.transfer(src, dst, nbytes)
+            self.mailboxes[dst].deliver(
+                Message(src, dst, tag, nbytes, payload))
+
+        return self.sim.process(_send(), name=f"send{src}->{dst}")
+
+    def send(self, src: int, dst: int, tag: Any, nbytes: int,
+             payload: Any = None) -> Generator[Event, Any, None]:
+        """Blocking send (generator): returns once delivered."""
+        yield self.isend(src, dst, tag, nbytes, payload)
+
+    def recv(self, host: int,
+             tag: Any = ANY_TAG) -> Generator[Event, Any, Message]:
+        """Blocking receive (generator): returns the matching message."""
+        message = yield self.mailboxes[host].receive(tag)
+        yield from self._charge_cpu(host, self.recv_overhead)
+        return message
+
+    def irecv(self, host: int, tag: Any = ANY_TAG) -> Event:
+        """Asynchronous receive: event fires with the matching message."""
+        return self.mailboxes[host].receive(tag)
+
+    # -- collectives --------------------------------------------------------
+    def barrier(self, host: int, key: Any,
+                participants: int) -> Generator[Event, Any, None]:
+        """Global barrier among ``participants`` hosts, identified by ``key``.
+
+        Implemented as a central counter plus a broadcast release, with the
+        wire cost approximated by two small-message hops (the real
+        implementation's critical path).
+        """
+        waiting = self._barrier_waiting.setdefault(key, [])
+        release = Event(self.sim)
+        waiting.append(release)
+        if len(waiting) == participants:
+            del self._barrier_waiting[key]
+            cost = 2 * (64 / self.network.tree.params.host_link_rate
+                        + self.network.tree.params.switch_latency)
+            for event in waiting:
+                self.sim.process(_delayed_succeed(self.sim, event, cost))
+        yield release
+
+    def reduce_to_root(self, host: int, root: int, nbytes: int,
+                       key: Any) -> Generator[Event, Any, None]:
+        """Each non-root sends ``nbytes`` to ``root``; root collects all."""
+        if host == root:
+            for _ in range(self.num_hosts - 1):
+                yield from self.recv(host, tag=("reduce", key))
+        else:
+            yield from self.send(host, root, ("reduce", key), nbytes)
+
+    def broadcast(self, host: int, root: int, nbytes: int,
+                  key: Any) -> Generator[Event, Any, None]:
+        """Binomial-tree broadcast of ``nbytes`` from ``root``.
+
+        All hosts must call with the same ``key``. Implemented over
+        rank-relative-to-root numbering so any root works.
+        """
+        n = self.num_hosts
+        rank = (host - root) % n
+        strides = []
+        stride = 1
+        while stride < n:
+            strides.append(stride)
+            stride *= 2
+        for round_index, stride in enumerate(reversed(strides)):
+            if rank % (2 * stride) == 0 and rank + stride < n:
+                dst = (root + rank + stride) % n
+                yield from self.send(host, dst,
+                                     ("bc", key, round_index), nbytes)
+            elif rank % (2 * stride) == stride:
+                yield from self.recv(host, ("bc", key, round_index))
+
+    def scatter(self, host: int, root: int, nbytes_each: int,
+                key: Any) -> Generator[Event, Any, None]:
+        """Root sends a distinct ``nbytes_each`` block to every host."""
+        if host == root:
+            for dst in range(self.num_hosts):
+                if dst != root:
+                    yield from self.send(host, dst, ("sc", key),
+                                         nbytes_each)
+        else:
+            yield from self.recv(host, ("sc", key))
+
+    def gather(self, host: int, root: int, nbytes_each: int,
+               key: Any) -> Generator[Event, Any, None]:
+        """Every host sends ``nbytes_each`` to the root."""
+        if host == root:
+            for _ in range(self.num_hosts - 1):
+                yield from self.recv(host, ("ga", key))
+        else:
+            yield from self.send(host, root, ("ga", key), nbytes_each)
+
+    def tree_allreduce(self, host: int, nbytes: int,
+                       key: Any) -> Generator[Event, Any, None]:
+        """Binomial-tree reduce to host 0 followed by a tree broadcast.
+
+        ``2 * log2(N)`` message rounds instead of the centralized
+        reduce's ``N`` — the collective the cluster tasks use to merge
+        candidate counters (dmine) without melting any single link.
+        All ``num_hosts`` hosts must call this with the same ``key``.
+        """
+        n = self.num_hosts
+        # Reduce phase: at round r, hosts with bit r set send to the
+        # partner with that bit cleared, then drop out.
+        round_index = 0
+        stride = 1
+        while stride < n:
+            if host % (2 * stride) == stride:
+                yield from self.send(host, host - stride,
+                                     ("ar-up", key, round_index), nbytes)
+                break
+            if host % (2 * stride) == 0 and host + stride < n:
+                yield from self.recv(host, ("ar-up", key, round_index))
+            stride *= 2
+            round_index += 1
+        # Broadcast phase: mirror image, from host 0 back down.
+        strides = []
+        stride = 1
+        while stride < n:
+            strides.append(stride)
+            stride *= 2
+        for round_index, stride in enumerate(reversed(strides)):
+            if host % (2 * stride) == 0 and host + stride < n:
+                yield from self.send(host, host + stride,
+                                     ("ar-down", key, round_index), nbytes)
+            elif host % (2 * stride) == stride:
+                yield from self.recv(host, ("ar-down", key, round_index))
+
+
+def _delayed_succeed(sim: Simulator, event: Event, delay: float):
+    yield sim.timeout(delay)
+    event.succeed()

@@ -1,0 +1,398 @@
+"""Discrete-event simulation kernel.
+
+This module implements the event-driven core that every Howsim component is
+built on: a :class:`Simulator` that owns the virtual clock and the pending
+event queue, :class:`Event` objects that processes wait on, and
+:class:`Process` coroutines (plain Python generators) that describe the
+behaviour of simulated entities (disk arms, CPUs, NICs, disklets, ...).
+
+The design follows the classic process-interaction style (as popularized by
+SimPy): a process is a generator that ``yield``-s events; when a yielded
+event fires, the kernel resumes the generator, passing the event's value as
+the result of the ``yield`` expression.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening that processes can wait for.
+
+    An event starts *untriggered*; calling :meth:`succeed` (or
+    :meth:`fail`) schedules it to fire at the current simulation time.
+    Once fired, all registered callbacks run, in registration order.
+
+    Attributes
+    ----------
+    value:
+        The payload passed to :meth:`succeed`, delivered to waiting
+        processes as the result of their ``yield``.
+    """
+
+    __slots__ = ("sim", "callbacks", "value", "_triggered", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.value: Any = None
+        self._triggered = False
+        self._ok = True
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self.value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will see the exception raised at their ``yield``.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self.value = exception
+        self.sim._schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires.
+
+        If the event has already been processed the callback runs
+        immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self.value = value
+        self._triggered = True
+        sim._schedule(self, delay)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running coroutine, itself usable as an event (fires on return).
+
+    The wrapped generator yields :class:`Event` instances; the process is
+    resumed when each fires. When the generator returns, the process event
+    succeeds with the generator's return value; if it raises, the process
+    event fails with the exception (which propagates to any process that is
+    waiting on it, or aborts the simulation run otherwise).
+    """
+
+    __slots__ = ("generator", "name", "_target")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process() requires a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator as soon as the simulation runs.
+        init = Event(sim)
+        init.add_callback(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"{self.name}: cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        event = Event(self.sim)
+        event.add_callback(self._resume_interrupt(cause))
+        event.succeed()
+
+    def _resume_interrupt(self, cause: Any) -> Callable[[Event], None]:
+        def callback(_event: Event) -> None:
+            self._step(Interrupt(cause), throw=True)
+        return callback
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event.ok:
+            self._step(event.value, throw=False)
+        else:
+            event._defused = True
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        self.sim._active_process = self
+        try:
+            if throw:
+                target = self.generator.throw(value)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            self.generator.throw(SimulationError(
+                f"{self.name}: processes must yield Event instances, "
+                f"got {target!r}"))
+            return
+        if target.processed:
+            # Already fired and handled; resume immediately via a fresh event
+            # so that processing order stays deterministic.
+            relay = Event(self.sim)
+            relay.value = target.value
+            relay._ok = target.ok
+            relay._triggered = True
+            relay.add_callback(self._resume)
+            self.sim._schedule(relay)
+            self._target = relay
+        else:
+            target.add_callback(self._resume)
+            self._target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self._triggered else "alive"
+        return f"<Process {self.name} ({state})>"
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+        else:
+            for event in self.events:
+                event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* component events have fired.
+
+    The value is the list of component event values, in construction order.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when *any* component event fires; value is ``(event, value)``."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self.succeed((event, event.value))
+
+
+class Simulator:
+    """The event loop: owns the clock and the pending-event heap.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable ``trace(time, event)`` invoked for every event
+        processed — useful for debugging simulations.
+    """
+
+    def __init__(self, trace: Optional[Callable[[float, Event], None]] = None):
+        self._now = 0.0
+        self._queue: List = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+        self._trace = trace
+        self.event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event that fires when all ``events`` fire."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        self.event_count += 1
+        if self._trace is not None:
+            self._trace(when, event)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not event._defused:
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or the clock reaches ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

@@ -1,0 +1,223 @@
+"""Shared-resource primitives built on the event kernel.
+
+Three primitives cover every contention point in Howsim:
+
+* :class:`Server` — a capacity-limited resource with FIFO admission
+  (CPUs, DMA engines, switch ports, disk arms).
+* :class:`Store` — a bounded FIFO buffer of items with blocking put/get
+  (message queues, OS communication buffers, shared block queues).
+* :class:`Mutex` — a convenience single-slot :class:`Server`.
+
+All waiting is strictly FIFO, which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from .core import Event, Process, SimulationError, Simulator
+
+__all__ = ["Server", "Mutex", "Store", "ProcessPool"]
+
+
+class Server:
+    """A resource with ``capacity`` identical slots and a FIFO queue.
+
+    Usage from a process::
+
+        grant = server.request()
+        yield grant
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            server.release()
+
+    or, more conveniently, :meth:`serve`::
+
+        yield from server.serve(service_time)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"Server capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: Deque[Event] = deque()
+        # accounting
+        self._busy_time = 0.0
+        self._busy_since: Optional[float] = None
+        self.total_requests = 0
+
+    # -- accounting -------------------------------------------------------
+    def _note_busy_edge(self, starting: bool) -> None:
+        if starting and self.in_use == 1:
+            self._busy_since = self.sim.now
+        elif not starting and self.in_use == 0 and self._busy_since is not None:
+            self._busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+
+    def busy_time(self) -> float:
+        """Total time during which at least one slot was in use."""
+        extra = 0.0
+        if self._busy_since is not None:
+            extra = self.sim.now - self._busy_since
+        return self._busy_time + extra
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time with at least one slot busy."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.busy_time() / self.sim.now
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    # -- core protocol ----------------------------------------------------
+    def request(self) -> Event:
+        """Return an event that fires once a slot is granted."""
+        self.total_requests += 1
+        grant = Event(self.sim)
+        if self.in_use < self.capacity and not self._waiting:
+            self.in_use += 1
+            self._note_busy_edge(starting=True)
+            grant.succeed()
+        else:
+            self._waiting.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Free one slot, admitting the next waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"Server {self.name!r}: release without request")
+        if self._waiting:
+            grant = self._waiting.popleft()
+            grant.succeed()  # slot transfers directly to the next waiter
+        else:
+            self.in_use -= 1
+            self._note_busy_edge(starting=False)
+
+    def serve(self, duration: float) -> Generator[Event, Any, None]:
+        """Acquire a slot, hold it for ``duration``, release it."""
+        yield self.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+
+class Mutex(Server):
+    """A single-slot :class:`Server`."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        super().__init__(sim, capacity=1, name=name)
+
+
+class Store:
+    """A bounded FIFO of items with blocking ``put``/``get``.
+
+    ``capacity`` may be ``None`` for an unbounded store. Both producers and
+    consumers queue FIFO, so ordering is deterministic.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"Store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # events carrying .value = item
+        self.total_put = 0
+        self.total_got = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        """True when a put would block."""
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` has been accepted."""
+        self.total_put += 1
+        done = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the longest-waiting consumer.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            self.total_got += 1
+            done.succeed()
+        elif not self.is_full:
+            self.items.append(item)
+            done.succeed()
+        else:
+            done.value = item
+            self._putters.append(done)
+        return done
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self._getters or not self.is_full:
+            self.put(item)
+            return True
+        return False
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        got = Event(self.sim)
+        if self.items:
+            item = self.items.popleft()
+            self.total_got += 1
+            self._admit_putter()
+            got.succeed(item)
+        elif self._putters:
+            # Zero-capacity style rendezvous: take directly from a putter.
+            putter = self._putters.popleft()
+            self.total_got += 1
+            item, putter.value = putter.value, None
+            putter.succeed()
+            got.succeed(item)
+        else:
+            self._getters.append(got)
+        return got
+
+    def try_get(self) -> tuple:
+        """Non-blocking get; returns ``(True, item)`` or ``(False, None)``."""
+        if self.items or self._putters:
+            event = self.get()
+            return True, event.value
+        return False, None
+
+    def _admit_putter(self) -> None:
+        while self._putters and not self.is_full:
+            putter = self._putters.popleft()
+            item, putter.value = putter.value, None
+            self.items.append(item)
+            putter.succeed()
+
+
+class ProcessPool:
+    """Track a group of processes and wait for all of them to finish."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.processes: List[Process] = []
+
+    def spawn(self, generator, name: Optional[str] = None) -> Process:
+        """Start and track a process."""
+        process = self.sim.process(generator, name=name)
+        self.processes.append(process)
+        return process
+
+    def all_done(self) -> Event:
+        """Event that fires when every tracked process has finished."""
+        return self.sim.all_of(self.processes)

@@ -1,0 +1,96 @@
+"""Periodic sampling of simulation state into time series.
+
+Attach a :class:`Sampler` before running to record utilizations, queue
+lengths or any numeric probe at fixed simulated intervals — the raw
+material for time-series plots (loop utilization over a sort run, idle
+fraction around a phase boundary, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .core import Simulator
+
+__all__ = ["Sampler", "sparkline"]
+
+_BARS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class Sample:
+    time: float
+    values: Tuple[float, ...]
+
+
+class Sampler:
+    """Sample named probes every ``interval`` simulated seconds.
+
+    Probes are zero-argument callables returning floats. Sampling stops
+    automatically when the event queue drains (the sampler never keeps
+    a simulation alive: it re-arms only while other work is pending).
+    """
+
+    def __init__(self, sim: Simulator, interval: float,
+                 probes: Dict[str, Callable[[], float]]):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if not probes:
+            raise ValueError("Sampler needs at least one probe")
+        self.sim = sim
+        self.interval = interval
+        self.names = tuple(probes)
+        self._probes = tuple(probes.values())
+        self.samples: List[Sample] = []
+        sim.process(self._loop(), name="sampler")
+
+    def _loop(self):
+        while True:
+            self._take()
+            # Only re-arm while something else is scheduled; otherwise
+            # the sampler would tick forever on an idle simulation.
+            if self.sim.peek() == float("inf"):
+                return
+            yield self.sim.timeout(self.interval)
+
+    def _take(self) -> None:
+        self.samples.append(Sample(
+            time=self.sim.now,
+            values=tuple(float(probe()) for probe in self._probes)))
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """(time, value) pairs for one probe."""
+        index = self.names.index(name)
+        return [(s.time, s.values[index]) for s in self.samples]
+
+    def render(self, width: int = 60) -> str:
+        """One sparkline per probe, resampled to ``width`` characters."""
+        lines = []
+        label_width = max(len(n) for n in self.names)
+        for name in self.names:
+            values = [v for _, v in self.series(name)]
+            lines.append(f"{name.ljust(label_width)}  "
+                         f"{sparkline(values, width)}")
+        return "\n".join(lines)
+
+
+def sparkline(values: List[float], width: int = 60) -> str:
+    """Render values as a fixed-width ASCII intensity strip."""
+    if not values:
+        return ""
+    # Resample to width buckets (mean per bucket).
+    buckets: List[float] = []
+    for i in range(min(width, len(values))):
+        lo = i * len(values) // min(width, len(values))
+        hi = max(lo + 1, (i + 1) * len(values) // min(width, len(values)))
+        chunk = values[lo:hi]
+        buckets.append(sum(chunk) / len(chunk))
+    peak = max(buckets)
+    if peak <= 0:
+        return " " * len(buckets)
+    out = []
+    for value in buckets:
+        level = int(round((len(_BARS) - 1) * value / peak))
+        out.append(_BARS[max(0, min(len(_BARS) - 1, level))])
+    return "".join(out)

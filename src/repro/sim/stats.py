@@ -1,0 +1,152 @@
+"""Measurement helpers: counters, time-weighted averages, busy trackers.
+
+Every architecture model exposes utilization and breakdown numbers through
+these helpers; the experiment drivers aggregate them into the
+per-figure/table reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .core import Simulator
+
+__all__ = ["Counter", "TimeWeighted", "BusyTracker", "Tally", "StatSet"]
+
+
+class Counter:
+    """A plain additive counter (bytes moved, requests issued, ...)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Tally:
+    """Accumulate observations; report count/mean/min/max."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class TimeWeighted:
+    """Track a piecewise-constant value and its time-weighted average."""
+
+    def __init__(self, sim: Simulator, initial: float = 0.0, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value = initial
+        self._area = 0.0
+        self._since = sim.now
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.sim.now
+        self._area += self._value * (now - self._since)
+        self._since = now
+        self._value = value
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def average(self) -> float:
+        """Time-weighted average over [0, now]."""
+        now = self.sim.now
+        if now <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._since)
+        return area / now
+
+
+class BusyTracker:
+    """Accumulate named time buckets (compute/idle/io/...) for breakdowns.
+
+    Components call :meth:`charge` with a bucket name and a duration; the
+    experiment drivers read :attr:`buckets` to build breakdown figures like
+    the paper's Figure 3.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.buckets: Dict[str, float] = {}
+
+    def charge(self, bucket: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration for bucket {bucket!r}: {duration}")
+        self.buckets[bucket] = self.buckets.get(bucket, 0.0) + duration
+
+    def total(self) -> float:
+        return sum(self.buckets.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Each bucket as a fraction of the tracker's total."""
+        total = self.total()
+        if total <= 0:
+            return {k: 0.0 for k in self.buckets}
+        return {k: v / total for k, v in self.buckets.items()}
+
+    def merged(self, other: "BusyTracker") -> "BusyTracker":
+        out = BusyTracker(self.name)
+        for src in (self, other):
+            for key, val in src.buckets.items():
+                out.charge(key, val)
+        return out
+
+
+@dataclass
+class StatSet:
+    """A named bundle of counters/tallies collected from one simulation run."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    tallies: Dict[str, Tally] = field(default_factory=dict)
+    trackers: Dict[str, BusyTracker] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def tally(self, name: str) -> Tally:
+        if name not in self.tallies:
+            self.tallies[name] = Tally(name)
+        return self.tallies[name]
+
+    def tracker(self, name: str) -> BusyTracker:
+        if name not in self.trackers:
+            self.trackers[name] = BusyTracker(name)
+        return self.trackers[name]
+
+    def as_rows(self) -> List[Tuple[str, float]]:
+        """Flatten everything into (name, value) rows for reporting."""
+        rows: List[Tuple[str, float]] = []
+        rows.extend((c.name, c.value) for c in self.counters.values())
+        rows.extend((f"{t.name}.mean", t.mean) for t in self.tallies.values())
+        for tracker in self.trackers.values():
+            rows.extend(
+                (f"{tracker.name}.{bucket}", value)
+                for bucket, value in sorted(tracker.buckets.items()))
+        return rows

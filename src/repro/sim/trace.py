@@ -1,0 +1,80 @@
+"""Execution tracing for debugging simulations.
+
+A :class:`TraceLog` plugs into :class:`~repro.sim.core.Simulator` as its
+``trace`` callback and records every processed event into a bounded ring
+buffer, plus running counts per event class. Use it to answer "what was
+the simulation doing around t=12.3?" without printf-ing the models:
+
+>>> from repro.sim import Simulator
+>>> from repro.sim.trace import TraceLog
+>>> log = TraceLog(capacity=1000)
+>>> sim = Simulator(trace=log)
+>>> def p():
+...     yield sim.timeout(1.0)
+>>> _ = sim.process(p())
+>>> sim.run()
+>>> log.counts["Timeout"] >= 1
+True
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .core import Event, Process, Simulator, Timeout
+
+__all__ = ["TraceEntry", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One processed event: when, what kind, and (for processes) who."""
+
+    time: float
+    kind: str
+    name: str = ""
+
+
+class TraceLog:
+    """Bounded event recorder usable as ``Simulator(trace=...)``."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.entries: Deque[TraceEntry] = deque(maxlen=capacity)
+        self.counts: Dict[str, int] = {}
+        self.total = 0
+
+    def __call__(self, time: float, event: Event) -> None:
+        kind = type(event).__name__
+        name = event.name if isinstance(event, Process) else ""
+        self.entries.append(TraceEntry(time=time, kind=kind, name=name))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.total += 1
+
+    def window(self, start: float, end: float) -> List[TraceEntry]:
+        """Entries with ``start <= time < end`` (within the ring buffer)."""
+        if end < start:
+            raise ValueError(f"bad window [{start}, {end})")
+        return [e for e in self.entries if start <= e.time < end]
+
+    def completed_processes(self) -> List[Tuple[float, str]]:
+        """(time, name) of named process completions, in order.
+
+        A :class:`~repro.sim.core.Process` is itself an event that fires
+        when its generator returns, so completions — not every
+        resumption — are what the event stream carries.
+        """
+        return [(entry.time, entry.name) for entry in self.entries
+                if entry.kind == "Process" and entry.name]
+
+    def summary(self) -> str:
+        lines = [f"{self.total} events traced "
+                 f"(last {len(self.entries)} retained)"]
+        for kind, count in sorted(self.counts.items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append(f"  {kind}: {count}")
+        return "\n".join(lines)

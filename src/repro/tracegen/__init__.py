@@ -1,0 +1,33 @@
+"""Analytic trace generation (the DEC Alpha trace-acquisition substitute)."""
+
+from .costs import (
+    AGGREGATE_SUM_NS,
+    DCUBE_HASH_NS,
+    DCUBE_MERGE_NS,
+    DMINE_COUNT_NS,
+    DMINE_MERGE_NS,
+    GROUPBY_HASH_NS,
+    GROUPBY_MERGE_NS,
+    JOIN_BUILD_PROBE_NS,
+    JOIN_PROJECT_NS,
+    MVIEW_APPLY_NS,
+    MVIEW_MERGE_NS,
+    MVIEW_SCAN_NS,
+    SELECT_FILTER_NS,
+    SORT_APPEND_NS,
+    SORT_MERGE_NS,
+    SORT_PARTITION_NS,
+    SORT_RUN_BASE_NS,
+    sort_cpu_ns,
+)
+from .traces import TraceRecord, trace_totals, worker_trace
+
+__all__ = [
+    "SELECT_FILTER_NS", "AGGREGATE_SUM_NS", "GROUPBY_HASH_NS",
+    "GROUPBY_MERGE_NS", "SORT_PARTITION_NS", "SORT_APPEND_NS",
+    "SORT_RUN_BASE_NS", "SORT_MERGE_NS", "JOIN_PROJECT_NS",
+    "JOIN_BUILD_PROBE_NS", "DMINE_COUNT_NS", "DMINE_MERGE_NS",
+    "DCUBE_HASH_NS", "DCUBE_MERGE_NS", "MVIEW_SCAN_NS", "MVIEW_APPLY_NS",
+    "MVIEW_MERGE_NS", "sort_cpu_ns",
+    "TraceRecord", "worker_trace", "trace_totals",
+]

@@ -1,0 +1,115 @@
+"""Per-task CPU cost models (the trace-acquisition substitute).
+
+The paper acquired per-task processing-time traces by running each
+algorithm on a DEC Alpha 2100 4/275 and replayed them in Howsim, scaling
+by processor speed. We replace that machine with an *analytic* cost model:
+every task is assigned per-byte costs (nanoseconds per input byte at the
+275 MHz reference clock, see :data:`~repro.host.cpu.REFERENCE_MHZ`),
+chosen once, globally, to reproduce the absolute throughputs implied by
+the paper's own measurements:
+
+* a 200 MHz Active Disk processor scans/filters at ~13 MB/s (select on a
+  16-disk farm takes about as long as the FC-bound SMP, Figure 1a);
+* sort's phase-1 work (partition + append + run sort) sustains ~3 MB/s
+  per 200 MHz disk, which is what makes 64-disk configurations compute-
+  bound and 128-disk configurations interconnect-bound (Figure 3b);
+* run sorting cost falls ~7 % when run count halves (Section 4.3's
+  40x25 MB -> 20x50 MB observation), giving the
+  ``1 + 0.1 * log2(runs)`` shape used by :func:`sort_cpu_ns`.
+
+Every constant is documented with the behaviour it is calibrated against;
+the test suite pins the resulting ratios to the paper's reported bands.
+"""
+
+from __future__ import annotations
+
+from math import log2
+
+__all__ = [
+    "SELECT_FILTER_NS", "AGGREGATE_SUM_NS", "GROUPBY_HASH_NS",
+    "GROUPBY_MERGE_NS", "SORT_PARTITION_NS", "SORT_APPEND_NS",
+    "SORT_RUN_BASE_NS", "SORT_MERGE_NS", "JOIN_PROJECT_NS",
+    "JOIN_BUILD_PROBE_NS", "DMINE_COUNT_NS", "DMINE_MERGE_NS",
+    "DCUBE_HASH_NS", "DCUBE_MERGE_NS", "DCUBE_PARTITION_NS",
+    "CLUSTER_COPY_NS", "MVIEW_SCAN_NS",
+    "MVIEW_APPLY_NS", "MVIEW_MERGE_NS",
+    "sort_cpu_ns",
+]
+
+#: select: predicate evaluation + stream management per 64 B tuple.
+#: Calibrated: 16-disk Active Disk select ~ FC-bound SMP select (Fig. 1a).
+SELECT_FILTER_NS = 68.0
+
+#: aggregate: SUM accumulation; slightly cheaper than select's copy-out.
+AGGREGATE_SUM_NS = 65.0
+
+#: groupby: hash lookup + aggregate update per 64 B tuple.
+GROUPBY_HASH_NS = 80.0
+
+#: groupby: merging partial group tables at the front-end.
+GROUPBY_MERGE_NS = 8.0
+
+#: sort phase 1 at the reading disk: examine key, pick partition, copy
+#: into the outgoing stream buffer.
+SORT_PARTITION_NS = 30.0
+
+#: sort phase 1 at the receiving disk: collect tuples into run buffers.
+SORT_APPEND_NS = 25.0
+
+#: sort phase 1: run formation (quicksort) base cost; scaled by run count
+#: via :func:`sort_cpu_ns`. Together with partition+append this puts a
+#: 200 MHz disk at ~3 MB/s for phase 1 (Fig. 3b crossover at 64 disks).
+SORT_RUN_BASE_NS = 120.0
+
+#: sort phase 2: heap merge of sorted runs.
+SORT_MERGE_NS = 90.0
+
+#: join: projection (64 B -> 32 B) while scanning both relations.
+JOIN_PROJECT_NS = 30.0
+
+#: join: hash build + probe per received (projected) byte.
+JOIN_BUILD_PROBE_NS = 110.0
+
+#: dmine: per-pass itemset counting (hash per item, ~4 items/53 B txn).
+DMINE_COUNT_NS = 100.0
+
+#: dmine: merging candidate counters at the front-end.
+DMINE_MERGE_NS = 8.0
+
+#: dcube: hashing a tuple into the pipeline of group-by tables.
+DCUBE_HASH_NS = 110.0
+
+#: dcube on clusters: parsing/partitioning a tuple before the shuffle
+#: (the cluster hash-partitions the input so each node owns a table
+#: partition; Active Disk disklets aggregate locally instead).
+DCUBE_PARTITION_NS = 12.0
+
+#: Extra kernel/buffer-copy cost the full-function cluster OS pays per
+#: byte moved through a node (disk reads/writes and message endpoints).
+#: Active Disk disklets process data in place in DiskOS stream buffers —
+#: the paper's "significantly easier to implement and optimize" point.
+CLUSTER_COPY_NS = 10.0
+
+#: dcube: merging spilled partial hash tables at the front-end.
+DCUBE_MERGE_NS = 14.0
+
+#: mview: scanning base relations + deltas, locating affected tuples.
+MVIEW_SCAN_NS = 40.0
+
+#: mview: applying a delta at the owning worker (per received byte).
+MVIEW_APPLY_NS = 60.0
+
+#: mview: merging updates into the derived relations (phase 2).
+MVIEW_MERGE_NS = 90.0
+
+
+def sort_cpu_ns(num_runs: int, base_ns: float = SORT_RUN_BASE_NS) -> float:
+    """Run-formation cost per byte as a function of run count.
+
+    More, shorter runs cost slightly more CPU (per Section 4.3: halving
+    the run count cut CPU by ~7 %); ``1 + 0.1*log2(runs)`` reproduces
+    that measurement at the paper's operating point (40 vs 20 runs).
+    """
+    if num_runs < 1:
+        raise ValueError(f"need at least one run, got {num_runs}")
+    return base_ns * (1.0 + 0.1 * log2(max(1, num_runs)))

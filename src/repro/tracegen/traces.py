@@ -1,0 +1,120 @@
+"""Trace records: the Howsim workload format, derived from task programs.
+
+Howsim's workload was a trace of processing times and I/O requests per
+task. This module expands a :class:`~repro.arch.program.TaskProgram` into
+exactly that — an ordered list of :class:`TraceRecord` per worker — which
+serves three purposes:
+
+* it documents what the machine engines execute, in the paper's own
+  terms;
+* tests cross-check the engines' byte/time accounting against the trace
+  totals;
+* the trace-replay example shows the workload a single disk unit sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..arch.program import Phase, TaskProgram
+from ..host.cpu import REFERENCE_MHZ
+
+__all__ = ["TraceRecord", "worker_trace", "trace_totals"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    ``op`` is one of ``compute`` (seconds at the reference clock in
+    ``seconds``), ``read``, ``write``, ``send_peer`` or ``send_frontend``
+    (bytes in ``nbytes``). ``phase`` and ``label`` locate the entry.
+    """
+
+    op: str
+    phase: str
+    label: str = ""
+    seconds: float = 0.0
+    nbytes: int = 0
+
+
+def worker_trace(program: TaskProgram, worker: int, workers: int,
+                 block_bytes: int = 256 * 1024) -> Iterator[TraceRecord]:
+    """Yield the trace one worker executes for ``program``.
+
+    Receiver-side work (append/build costs for shuffled bytes) is traced
+    at the worker under steady state: with a uniform shuffle each worker
+    receives as many bytes as it repartitions.
+    """
+    if not 0 <= worker < workers:
+        raise ValueError(f"worker {worker} out of range 0..{workers - 1}")
+    for phase in program.phases:
+        share = phase.read_bytes_total // workers
+        if worker < phase.read_bytes_total % workers:
+            share += 1
+        remaining = share
+        shuffled = 0
+        fronted = 0
+        written = 0
+        while remaining > 0:
+            nbytes = min(block_bytes, remaining)
+            remaining -= nbytes
+            yield TraceRecord("read", phase.name, nbytes=nbytes)
+            for comp in phase.cpu:
+                yield TraceRecord(
+                    "compute", phase.name, comp.label,
+                    seconds=comp.ns_per_byte * 1e-9 * nbytes)
+            shuffled += int(nbytes * phase.shuffle_fraction)
+            fronted += int(nbytes * phase.frontend_fraction)
+            written += int(nbytes * phase.write_fraction)
+            while shuffled >= block_bytes:
+                shuffled -= block_bytes
+                yield TraceRecord("send_peer", phase.name,
+                                  nbytes=block_bytes)
+            while fronted >= block_bytes:
+                fronted -= block_bytes
+                yield TraceRecord("send_frontend", phase.name,
+                                  nbytes=block_bytes)
+            while written >= block_bytes:
+                written -= block_bytes
+                yield TraceRecord("write", phase.name, nbytes=block_bytes)
+        shuffled += phase.shuffle_fixed_per_worker
+        fronted += phase.frontend_fixed_per_worker
+        if shuffled > 0:
+            yield TraceRecord("send_peer", phase.name, nbytes=shuffled)
+        if fronted > 0:
+            yield TraceRecord("send_frontend", phase.name, nbytes=fronted)
+        if written > 0:
+            yield TraceRecord("write", phase.name, nbytes=written)
+        # Steady-state receiver work for this worker's incoming share.
+        incoming = int(share * phase.shuffle_fraction) \
+            + phase.shuffle_fixed_per_worker
+        if incoming > 0:
+            for comp in phase.recv:
+                yield TraceRecord(
+                    "compute", phase.name, comp.label,
+                    seconds=comp.ns_per_byte * 1e-9 * incoming)
+            recv_write = int(incoming * phase.recv_write_fraction)
+            if recv_write > 0:
+                yield TraceRecord("write", phase.name, nbytes=recv_write)
+
+
+def trace_totals(program: TaskProgram, worker: int, workers: int,
+                 block_bytes: int = 256 * 1024) -> dict:
+    """Aggregate a worker trace into totals per operation."""
+    totals = {"compute_seconds": 0.0, "read_bytes": 0, "write_bytes": 0,
+              "peer_bytes": 0, "frontend_bytes": 0, "records": 0}
+    for record in worker_trace(program, worker, workers, block_bytes):
+        totals["records"] += 1
+        if record.op == "compute":
+            totals["compute_seconds"] += record.seconds
+        elif record.op == "read":
+            totals["read_bytes"] += record.nbytes
+        elif record.op == "write":
+            totals["write_bytes"] += record.nbytes
+        elif record.op == "send_peer":
+            totals["peer_bytes"] += record.nbytes
+        elif record.op == "send_frontend":
+            totals["frontend_bytes"] += record.nbytes
+    return totals

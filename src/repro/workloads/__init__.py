@@ -1,0 +1,23 @@
+"""Workloads: Table 2 datasets, task programs, reference algorithms."""
+
+from .datasets import TABLE2, TASKS, DatasetSpec, dataset_for
+from .pipehash import (
+    GroupBy,
+    PassPlan,
+    PipeHashPlan,
+    child_table_sizes,
+    plan_pipehash,
+)
+from .tasks import (
+    TaskContext,
+    build_program,
+    registered_tasks,
+    task_builder,
+)
+
+__all__ = [
+    "DatasetSpec", "TABLE2", "TASKS", "dataset_for",
+    "build_program", "task_builder", "registered_tasks", "TaskContext",
+    "plan_pipehash", "PipeHashPlan", "PassPlan", "GroupBy",
+    "child_table_sizes",
+]

@@ -1,0 +1,30 @@
+"""Reference (semantic) implementations of the eight tasks."""
+
+from .bounded_hash import BoundedHashAggregator, SpillStats
+from .apriori import association_rules, frequent_itemsets, support_counts
+from .datacube import compute_cube, cube_group_by
+from .external_sort import (
+    external_sort,
+    form_runs,
+    merge_runs,
+    partition_by_key_range,
+)
+from .mview import apply_deltas, build_view, maintain_view, partition_deltas
+from .records import (
+    make_cube_tuples,
+    make_relation,
+    make_sort_records,
+    make_transactions,
+)
+from .relational import aggregate_sum, grace_hash_join, groupby_sum, select
+
+__all__ = [
+    "select", "aggregate_sum", "groupby_sum", "grace_hash_join",
+    "external_sort", "form_runs", "merge_runs", "partition_by_key_range",
+    "frequent_itemsets", "association_rules", "support_counts",
+    "compute_cube", "cube_group_by",
+    "build_view", "partition_deltas", "apply_deltas", "maintain_view",
+    "make_relation", "make_sort_records", "make_transactions",
+    "make_cube_tuples",
+    "BoundedHashAggregator", "SpillStats",
+]

@@ -1,0 +1,60 @@
+"""Reference datacube computation driven by the PipeHash plan.
+
+Computes every group-by of the cube with hash aggregation, following the
+pass structure :func:`repro.workloads.pipehash.plan_pipehash` emits: the
+root group-by from the raw tuples, children from the root's output (a
+child's aggregate is derivable from any parent that contains its
+attributes — the property PipeHash exploits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["cube_group_by", "compute_cube"]
+
+Key = Tuple[int, ...]
+
+
+def cube_group_by(tuples: np.ndarray, attributes: Sequence[int],
+                  measure: str = "measure") -> Dict[Key, int]:
+    """SUM group-by over the given dimension columns."""
+    if not attributes:
+        raise ValueError("a cube group-by needs at least one attribute")
+    columns = [tuples[f"d{a}"] for a in attributes]
+    stacked = np.stack(columns, axis=1)
+    uniques, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    sums = np.zeros(len(uniques), dtype=np.int64)
+    np.add.at(sums, inverse, tuples[measure])
+    return {tuple(int(v) for v in key): int(s)
+            for key, s in zip(uniques, sums)}
+
+
+def _roll_up(parent: Dict[Key, int], parent_attrs: Sequence[int],
+             child_attrs: Sequence[int]) -> Dict[Key, int]:
+    """Aggregate a parent group-by down to a child attribute subset."""
+    positions = [parent_attrs.index(a) for a in child_attrs]
+    child: Dict[Key, int] = {}
+    for key, value in parent.items():
+        child_key = tuple(key[p] for p in positions)
+        child[child_key] = child.get(child_key, 0) + value
+    return child
+
+
+def compute_cube(tuples: np.ndarray,
+                 dims: int = 4) -> Dict[Tuple[int, ...], Dict[Key, int]]:
+    """All 2^dims - 1 group-bys, children rolled up from the root.
+
+    Returns {attribute subset: {group key: sum}}.
+    """
+    from itertools import combinations
+
+    root_attrs = tuple(range(dims))
+    root = cube_group_by(tuples, root_attrs)
+    cube: Dict[Tuple[int, ...], Dict[Key, int]] = {root_attrs: root}
+    for arity in range(dims - 1, 0, -1):
+        for attrs in combinations(range(dims), arity):
+            cube[attrs] = _roll_up(root, list(root_attrs), list(attrs))
+    return cube

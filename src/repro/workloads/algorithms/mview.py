@@ -1,0 +1,61 @@
+"""Reference materialized-view maintenance.
+
+A derived relation (view) holds ``SUM(value) GROUP BY key`` over a base
+relation; a delta stream of (key, value-change) rows is propagated to
+the view partitions that own the affected keys, then merged. The
+partition-by-owner step mirrors the repartitioning the simulated task
+charges the interconnect for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .relational import groupby_sum
+
+__all__ = ["build_view", "partition_deltas", "apply_deltas",
+           "maintain_view"]
+
+View = Dict[int, int]
+Delta = Tuple[int, int]
+
+
+def build_view(base: np.ndarray) -> View:
+    """Materialize SUM(value) GROUP BY key over the base relation."""
+    return groupby_sum(base)
+
+
+def partition_deltas(deltas: Sequence[Delta],
+                     owners: int) -> List[List[Delta]]:
+    """Route each delta to the worker owning its key partition."""
+    if owners < 1:
+        raise ValueError(f"need at least one owner, got {owners}")
+    parts: List[List[Delta]] = [[] for _ in range(owners)]
+    for key, change in deltas:
+        parts[key % owners].append((key, change))
+    return parts
+
+
+def apply_deltas(view_partition: View, deltas: Sequence[Delta]) -> View:
+    """Merge a delta batch into one view partition (refresh phase)."""
+    refreshed = dict(view_partition)
+    for key, change in deltas:
+        refreshed[key] = refreshed.get(key, 0) + change
+    return refreshed
+
+
+def maintain_view(base: np.ndarray, deltas: Sequence[Delta],
+                  owners: int = 4) -> View:
+    """Full maintenance: build, partition by owner, apply, recombine."""
+    view = build_view(base)
+    partitions: List[View] = [
+        {k: v for k, v in view.items() if k % owners == owner}
+        for owner in range(owners)
+    ]
+    routed = partition_deltas(deltas, owners)
+    merged: View = {}
+    for partition, batch in zip(partitions, routed):
+        merged.update(apply_deltas(partition, batch))
+    return merged

@@ -1,0 +1,72 @@
+"""Synthetic record generators matching the Table 2 dataset shapes.
+
+Used by the reference algorithm implementations (small-scale semantic
+validation) and the examples. Generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "make_relation", "make_sort_records", "make_transactions",
+    "make_cube_tuples",
+]
+
+
+def make_relation(count: int, distinct_keys: int, seed: int = 0,
+                  payload: int = 1000) -> np.ndarray:
+    """A relation of (key, value) rows: uniform keys, random values."""
+    if count < 0 or distinct_keys < 1:
+        raise ValueError("count must be >= 0 and distinct_keys >= 1")
+    rng = np.random.default_rng(seed)
+    return np.rec.fromarrays(
+        [rng.integers(0, distinct_keys, size=count, dtype=np.int64),
+         rng.integers(0, payload, size=count, dtype=np.int64)],
+        names=("key", "value"))
+
+
+def make_sort_records(count: int, seed: int = 0,
+                      key_space: int = 2 ** 40) -> np.ndarray:
+    """Records with uniformly distributed sort keys (the sort dataset)."""
+    rng = np.random.default_rng(seed)
+    return np.rec.fromarrays(
+        [rng.integers(0, key_space, size=count, dtype=np.int64),
+         np.arange(count, dtype=np.int64)],
+        names=("key", "payload"))
+
+
+def make_transactions(count: int, items: int, avg_items: int = 4,
+                      seed: int = 0,
+                      hot_fraction: float = 0.02) -> List[Tuple[int, ...]]:
+    """Retail transactions: mostly-uniform items with a popular hot set.
+
+    A small hot set makes some itemsets frequent so Apriori has work to
+    do at realistic minimum supports.
+    """
+    rng = np.random.default_rng(seed)
+    hot = max(1, int(items * hot_fraction))
+    transactions: List[Tuple[int, ...]] = []
+    sizes = rng.poisson(avg_items - 1, size=count) + 1
+    for size in sizes:
+        picks = []
+        for _ in range(size):
+            if rng.random() < 0.5:
+                picks.append(int(rng.integers(0, hot)))
+            else:
+                picks.append(int(rng.integers(0, items)))
+        transactions.append(tuple(sorted(set(picks))))
+    return transactions
+
+
+def make_cube_tuples(count: int, cardinalities: Sequence[int],
+                     seed: int = 0) -> np.ndarray:
+    """Fact tuples with one column per cube dimension plus a measure."""
+    rng = np.random.default_rng(seed)
+    columns = [rng.integers(0, card, size=count, dtype=np.int64)
+               for card in cardinalities]
+    columns.append(rng.integers(0, 100, size=count, dtype=np.int64))
+    names = tuple(f"d{i}" for i in range(len(cardinalities))) + ("measure",)
+    return np.rec.fromarrays(columns, names=names)

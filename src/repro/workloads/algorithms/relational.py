@@ -1,0 +1,70 @@
+"""Reference implementations: select, aggregate, group-by, hash join.
+
+These are the *semantic* versions of the simulated tasks — small-scale,
+in-memory, deterministic — used by the test suite to validate that the
+dataflow shapes the simulator charges for (selectivities, projection
+ratios, group counts, join output sizes) correspond to what the actual
+algorithms produce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["select", "aggregate_sum", "groupby_sum", "grace_hash_join"]
+
+
+def select(relation: np.ndarray,
+           predicate: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+    """Filter ``relation`` by a vectorized ``predicate`` over rows."""
+    mask = predicate(relation)
+    if mask.shape != (len(relation),):
+        raise ValueError("predicate must return one boolean per row")
+    return relation[mask]
+
+
+def aggregate_sum(relation: np.ndarray, column: str = "value") -> int:
+    """Zero-dimensional SUM aggregate."""
+    return int(relation[column].sum())
+
+
+def groupby_sum(relation: np.ndarray, key: str = "key",
+                value: str = "value") -> Dict[int, int]:
+    """Hash group-by with SUM, returning {group key: sum}."""
+    keys = relation[key]
+    values = relation[value]
+    uniques, inverse = np.unique(keys, return_inverse=True)
+    sums = np.zeros(len(uniques), dtype=np.int64)
+    np.add.at(sums, inverse, values)
+    return {int(k): int(s) for k, s in zip(uniques, sums)}
+
+
+def grace_hash_join(left: np.ndarray, right: np.ndarray,
+                    key: str = "key",
+                    partitions: int = 8) -> List[Tuple[int, int, int]]:
+    """GRACE partitioned hash join.
+
+    Both inputs are hash-partitioned on ``key``; each partition pair is
+    joined with a build (left) / probe (right) hash table — the same
+    two-phase structure the simulator charges for. Returns
+    ``(key, left value, right value)`` triples, ordered by partition then
+    probe order (deterministic).
+    """
+    if partitions < 1:
+        raise ValueError(f"need at least one partition, got {partitions}")
+    output: List[Tuple[int, int, int]] = []
+    left_parts = [left[left[key] % partitions == p]
+                  for p in range(partitions)]
+    right_parts = [right[right[key] % partitions == p]
+                   for p in range(partitions)]
+    for build_part, probe_part in zip(left_parts, right_parts):
+        table: Dict[int, List[int]] = {}
+        for row in build_part:
+            table.setdefault(int(row[key]), []).append(int(row["value"]))
+        for row in probe_part:
+            for build_value in table.get(int(row[key]), ()):
+                output.append(
+                    (int(row[key]), build_value, int(row["value"])))
+    return output

@@ -1,0 +1,130 @@
+"""Dataset descriptors for the eight tasks (paper Table 2).
+
+Every experiment uses these datasets: 16 GB for all tasks except join
+(32 GB) and materialized views (15 GB). A descriptor carries the logical
+shape (tuple size, counts, selectivities) so task builders can compute
+data volumes, and a ``scaled`` constructor shrinks the byte volumes for
+faster simulation while keeping every bandwidth/compute *ratio* intact
+(memory-dependent algorithm parameters are scaled alongside — see
+``repro.workloads.tasks``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from math import expm1
+from typing import Dict
+
+__all__ = ["DatasetSpec", "TABLE2", "dataset_for"]
+
+GB = 1_000_000_000
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Logical description of one task's dataset.
+
+    ``params`` carries task-specific numbers (selectivity, distinct
+    counts, dimension cardinalities, ...) keyed by name.
+    """
+
+    task: str
+    total_bytes: int
+    tuple_bytes: int
+    description: str
+    params: Dict[str, float] = field(default_factory=dict)
+    scale: float = 1.0
+
+    @property
+    def tuple_count(self) -> int:
+        return self.total_bytes // self.tuple_bytes
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """Shrink byte volumes by ``scale`` (1.0 = the paper's size)."""
+        if not 0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if scale == 1.0:
+            return self
+        new_params = dict(self.params)
+        # Counts that represent data volume scale; densities don't.
+        for key in ("distinct", "transactions", "items_total",
+                    "derived_bytes", "delta_bytes", "base_bytes"):
+            if key in new_params:
+                new_params[key] = new_params[key] * scale
+        return replace(
+            self,
+            total_bytes=int(self.total_bytes * scale),
+            params=new_params,
+            scale=self.scale * scale,
+        )
+
+
+def _expected_distinct(distinct: float, samples: float) -> float:
+    """Expected number of distinct values hit by ``samples`` draws."""
+    if distinct <= 0 or samples <= 0:
+        return 0.0
+    return distinct * -expm1(-samples / distinct)
+
+
+#: Table 2, verbatim.
+TABLE2: Dict[str, DatasetSpec] = {
+    "select": DatasetSpec(
+        task="select", total_bytes=16 * GB, tuple_bytes=64,
+        description="268 million, 64-byte tuples, 1% selectivity",
+        params={"selectivity": 0.01}),
+    "aggregate": DatasetSpec(
+        task="aggregate", total_bytes=16 * GB, tuple_bytes=64,
+        description="268 million, 64-byte tuples, SUM function",
+        params={"result_bytes": 64}),
+    "groupby": DatasetSpec(
+        task="groupby", total_bytes=16 * GB, tuple_bytes=64,
+        description="268 million, 64-byte tuples, 13.5 million distinct",
+        params={"distinct": 13_500_000, "group_entry_bytes": 32}),
+    "dcube": DatasetSpec(
+        task="dcube", total_bytes=16 * GB, tuple_bytes=32,
+        description=("536 million, 32-byte tuples, 4 dimensions, "
+                     "1%/0.1%/0.01%/0.001% distinct values"),
+        params={"dims": 4, "density_1": 0.01, "density_2": 0.001,
+                "density_3": 0.0001, "density_4": 0.00001,
+                "root_table_bytes": 695 * MB,
+                "children_total_bytes": 2_300 * MB,
+                "group_entry_bytes": 32}),
+    "sort": DatasetSpec(
+        task="sort", total_bytes=16 * GB, tuple_bytes=100,
+        description="100-byte tuples, 10-byte uniformly distributed keys",
+        params={"key_bytes": 10}),
+    "join": DatasetSpec(
+        task="join", total_bytes=32 * GB, tuple_bytes=64,
+        description=("64-byte tuples, 4-byte uniform keys, 32-byte "
+                     "tuples after projection"),
+        params={"key_bytes": 4, "projected_bytes": 32,
+                "output_fraction": 0.25}),
+    "dmine": DatasetSpec(
+        task="dmine", total_bytes=16 * GB, tuple_bytes=53,
+        description=("300 million transactions, 1 million items, "
+                     "avg 4 items/transaction, 0.1% minsup"),
+        params={"transactions": 300_000_000, "items": 1_000_000,
+                "avg_items": 4, "minsup": 0.001, "passes": 3,
+                "counter_bytes_per_worker": int(5.4 * MB)}),
+    "mview": DatasetSpec(
+        task="mview", total_bytes=15 * GB, tuple_bytes=32,
+        description=("32-byte tuples, 4 GB derived relations, "
+                     "1 GB deltas"),
+        params={"derived_bytes": 4 * GB, "delta_bytes": 1 * GB,
+                "base_bytes": 10 * GB}),
+}
+
+TASKS = tuple(TABLE2)
+
+
+def dataset_for(task: str, scale: float = 1.0) -> DatasetSpec:
+    """The Table 2 dataset for ``task``, optionally scaled down."""
+    if task not in TABLE2:
+        raise KeyError(
+            f"unknown task {task!r}; known tasks: {', '.join(TABLE2)}")
+    return TABLE2[task].scaled(scale)
+
+
+__all__.append("TASKS")
+__all__.append("_expected_distinct")

@@ -1,0 +1,71 @@
+"""A TPC-D-flavoured suite of composite query plans.
+
+The related work the paper cites (Tamura et al.) evaluated clusters on
+TPC-D; this suite provides comparable *shapes* — pricing-summary,
+shipping-priority and revenue-band queries — as logical plans over the
+Table 2 fact-table dimensions, compiled per architecture by
+``repro.workloads.queries``. Not the TPC-D schema (no multi-way joins in
+the plan language); the point is composite scan/filter/aggregate/sort
+pipelines with realistic volume drops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .queries import Filter, GroupBy, OrderBy, Project, QueryPlan, Scan
+
+__all__ = ["QUERY_SUITE", "query_plan", "suite_names"]
+
+#: The 16 GB fact table of Table 2 (268 M x 64 B, rounded as stored).
+FACT = Scan(rows=250_000_000, row_bytes=64)
+
+QUERY_SUITE: Dict[str, QueryPlan] = {
+    # Q1-like: full-scan pricing summary — tiny group count, heavy scan.
+    "pricing-summary": QueryPlan(
+        name="pricing-summary",
+        scan=FACT,
+        operators=(
+            Filter(selectivity=0.98),          # shipdate cutoff
+            GroupBy(groups=6, entry_bytes=64),  # returnflag x linestatus
+            OrderBy(),
+        )),
+    # Q3-like: selective filter, wide group-by, ordered output.
+    "shipping-priority": QueryPlan(
+        name="shipping-priority",
+        scan=FACT,
+        operators=(
+            Filter(selectivity=0.05),
+            GroupBy(groups=1_000_000, entry_bytes=32),
+            OrderBy(),
+        )),
+    # Q6-like: pure filtered aggregate — the Active Disk sweet spot.
+    "revenue-band": QueryPlan(
+        name="revenue-band",
+        scan=FACT,
+        operators=(
+            Filter(selectivity=0.015),
+            Project(row_bytes=16),
+            GroupBy(groups=1, entry_bytes=64),
+        )),
+    # Top-k style: project early, order everything that survives.
+    "discount-outliers": QueryPlan(
+        name="discount-outliers",
+        scan=FACT,
+        operators=(
+            Filter(selectivity=0.002),
+            Project(row_bytes=32),
+            OrderBy(),
+        )),
+}
+
+
+def suite_names() -> Tuple[str, ...]:
+    return tuple(QUERY_SUITE)
+
+
+def query_plan(name: str) -> QueryPlan:
+    if name not in QUERY_SUITE:
+        raise KeyError(
+            f"unknown query {name!r}; suite: {', '.join(QUERY_SUITE)}")
+    return QUERY_SUITE[name]

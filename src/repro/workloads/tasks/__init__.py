@@ -1,0 +1,25 @@
+"""The eight decision-support task builders (paper Section 3)."""
+
+from . import (  # noqa: F401  (imports register the builders)
+    aggregate,
+    dcube,
+    dmine,
+    groupby,
+    join,
+    mview,
+    select,
+    sort,
+)
+from .base import (
+    TaskBuilder,
+    TaskContext,
+    build_program,
+    register_task,
+    registered_tasks,
+    task_builder,
+)
+
+__all__ = [
+    "TaskContext", "TaskBuilder",
+    "build_program", "task_builder", "register_task", "registered_tasks",
+]

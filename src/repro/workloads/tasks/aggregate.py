@@ -1,0 +1,29 @@
+"""SQL aggregate: a zero-dimensional SUM over the whole relation.
+
+The most extreme data reduction in the suite: every worker reduces its
+share to a single accumulator and ships a few dozen bytes at the end.
+The paper notes its performance is "naturally insensitive to the amount
+of memory available" — there is nothing to hold but one running sum.
+"""
+
+from __future__ import annotations
+
+from ...arch.program import CostComponent, Phase, TaskProgram
+from ...tracegen.costs import AGGREGATE_SUM_NS
+from .base import TaskContext, register_task
+
+__all__ = ["build_aggregate"]
+
+
+@register_task("aggregate")
+def build_aggregate(context: TaskContext) -> TaskProgram:
+    dataset = context.dataset
+    result_bytes = int(context.param("result_bytes"))
+    return TaskProgram(task="aggregate", phases=(
+        Phase(
+            name="scan",
+            read_bytes_total=dataset.total_bytes,
+            cpu=(CostComponent("sum", AGGREGATE_SUM_NS),),
+            frontend_fixed_per_worker=result_bytes,
+        ),
+    ))

@@ -1,0 +1,115 @@
+"""Shared infrastructure for the eight task builders.
+
+A *task builder* maps (architecture configuration, simulation scale) to a
+:class:`~repro.arch.program.TaskProgram`: the same logical task expressed
+against the architecture's programming model, exactly as the paper
+implemented each task three times (Section 3).
+
+Scaling rule
+------------
+``scale`` shrinks every data volume by the same factor **including the
+memory used for algorithm decisions** (run lengths, hash-table fit
+tests). Because every decision in these algorithms depends on
+data-to-memory *ratios*, this preserves run counts, pass counts and spill
+thresholds exactly while letting the simulation finish quickly. At
+``scale=1.0`` the byte volumes are the paper's own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Callable, Dict
+
+from ...arch.config import ActiveDiskConfig, ArchConfig, ClusterConfig, SMPConfig
+from ...arch.program import TaskProgram
+from ..datasets import DatasetSpec, dataset_for
+
+__all__ = [
+    "TaskContext", "TaskBuilder", "register_task", "task_builder",
+    "registered_tasks", "build_program",
+]
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """Everything a task builder needs to emit a program."""
+
+    config: ArchConfig
+    dataset: DatasetSpec
+    scale: float
+
+    @property
+    def arch(self) -> str:
+        return self.config.arch
+
+    @property
+    def workers(self) -> int:
+        if isinstance(self.config, SMPConfig):
+            return self.config.num_cpus
+        return self.config.num_disks
+
+    @property
+    def worker_memory(self) -> int:
+        """Memory available to one worker's algorithm, scaled."""
+        config = self.config
+        if isinstance(config, ActiveDiskConfig):
+            memory = config.disk_memory_bytes
+        elif isinstance(config, ClusterConfig):
+            memory = config.node_usable_memory
+        elif isinstance(config, SMPConfig):
+            memory = config.memory_per_board // config.cpus_per_board
+        else:
+            raise TypeError(f"unknown config type {type(config).__name__}")
+        return int(memory * self.scale)
+
+    @property
+    def aggregate_memory(self) -> int:
+        """Total worker memory across the machine, scaled."""
+        return self.worker_memory * self.workers
+
+    @property
+    def per_worker_bytes(self) -> int:
+        return ceil(self.dataset.total_bytes / self.workers)
+
+    def param(self, key: str) -> float:
+        return self.dataset.params[key]
+
+
+TaskBuilder = Callable[[TaskContext], TaskProgram]
+
+_REGISTRY: Dict[str, TaskBuilder] = {}
+
+
+def register_task(name: str):
+    """Decorator registering a builder under its task name."""
+
+    def wrap(builder: TaskBuilder) -> TaskBuilder:
+        if name in _REGISTRY:
+            raise ValueError(f"task {name!r} registered twice")
+        _REGISTRY[name] = builder
+        return builder
+
+    return wrap
+
+
+def task_builder(name: str) -> TaskBuilder:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown task {name!r}; known: {', '.join(sorted(_REGISTRY))}")
+    return _REGISTRY[name]
+
+
+def registered_tasks() -> tuple:
+    return tuple(sorted(_REGISTRY))
+
+
+def build_program(task: str, config: ArchConfig,
+                  scale: float = 1.0) -> TaskProgram:
+    """Build ``task``'s program for ``config`` at simulation ``scale``."""
+    context = TaskContext(
+        config=config,
+        dataset=dataset_for(task, scale),
+        scale=scale,
+    )
+    return task_builder(task)(context)

@@ -1,0 +1,38 @@
+"""SQL group-by: hash aggregation into 13.5 million groups.
+
+Each worker aggregates its share into a local hash table and ships the
+partial group table to the front-end, which merges the partials. The
+fact table is clustered on the group key (the usual layout for decision-
+support fact tables), so a worker's share holds ~distinct/W groups and
+the total volume delivered to the front-end is one group table
+(13.5 M x 32 B = 432 MB) regardless of disk memory — which is why the
+paper finds group-by memory-insensitive, and why its cluster performance
+is limited by the front-end's 100 Mb/s access link while the Active
+Disks' 200 MB/s FC link keeps scaling (Figure 1's group-by outlier).
+"""
+
+from __future__ import annotations
+
+from ...arch.program import CostComponent, Phase, TaskProgram
+from ...tracegen.costs import GROUPBY_HASH_NS, GROUPBY_MERGE_NS
+from .base import TaskContext, register_task
+
+__all__ = ["build_groupby"]
+
+
+@register_task("groupby")
+def build_groupby(context: TaskContext) -> TaskProgram:
+    dataset = context.dataset
+    distinct = context.param("distinct")
+    entry = context.param("group_entry_bytes")
+    result_bytes = distinct * entry
+    fraction = min(1.0, result_bytes / dataset.total_bytes)
+    return TaskProgram(task="groupby", phases=(
+        Phase(
+            name="scan",
+            read_bytes_total=dataset.total_bytes,
+            cpu=(CostComponent("hash", GROUPBY_HASH_NS),),
+            frontend_fraction=fraction,
+            frontend_cpu_ns_per_byte=GROUPBY_MERGE_NS,
+        ),
+    ))

@@ -1,0 +1,67 @@
+"""Project-join: GRACE-style partitioned hash join.
+
+The 32 GB dataset holds both relations; neither fits any configuration's
+memory, so the join runs in two phases:
+
+* **partition**: scan both relations, project each 64-byte tuple to its
+  32-byte join-relevant image, hash-partition the projected tuples by
+  join key across workers, and write the arriving partition files at
+  their owners. Half the scanned volume (16 GB) is repartitioned — the
+  trait that puts join in the direct disk-to-disk group (Figure 5).
+* **probe**: every worker reads its partition files (one interleaved
+  stream per memory-sized sub-partition), builds/probes the hash tables,
+  and writes the join output (25 % of the input volume).
+
+On the SMP the drives split into read and write groups for both phases
+(the NOW-sort arrangement the paper applies to sort and join).
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from ...arch.program import CostComponent, Phase, TaskProgram
+from ...tracegen.costs import JOIN_BUILD_PROBE_NS, JOIN_PROJECT_NS
+from .base import TaskContext, register_task
+
+__all__ = ["build_join", "subpartition_count"]
+
+#: Fraction of worker memory usable for one hash-table sub-partition.
+HASH_TABLE_FRACTION = 0.78
+
+
+def subpartition_count(context: TaskContext, partition_bytes: int) -> int:
+    """Memory-sized sub-partitions each worker splits its share into."""
+    budget = max(1, int(context.worker_memory * HASH_TABLE_FRACTION))
+    return max(1, ceil(partition_bytes / budget))
+
+
+@register_task("join")
+def build_join(context: TaskContext) -> TaskProgram:
+    dataset = context.dataset
+    projected = context.param("projected_bytes") / dataset.tuple_bytes
+    output_fraction = context.param("output_fraction")
+    shuffled_total = int(dataset.total_bytes * projected)
+    per_worker_partition = ceil(shuffled_total / context.workers)
+    subpartitions = subpartition_count(context, per_worker_partition)
+    # Output bytes per probed byte.
+    probe_write = output_fraction * dataset.total_bytes / shuffled_total
+    smp = context.arch == "smp"
+    return TaskProgram(task="join", phases=(
+        Phase(
+            name="partition",
+            read_bytes_total=dataset.total_bytes,
+            cpu=(CostComponent("project", JOIN_PROJECT_NS),),
+            shuffle_fraction=projected,
+            recv_write_fraction=1.0,
+            split_disk_groups=smp,
+        ),
+        Phase(
+            name="probe",
+            read_bytes_total=shuffled_total,
+            cpu=(CostComponent("build_probe", JOIN_BUILD_PROBE_NS),),
+            write_fraction=probe_write,
+            read_streams=subpartitions,
+            split_disk_groups=smp,
+        ),
+    ))

@@ -1,0 +1,30 @@
+"""SQL select: scan, apply a 1 %-selective predicate, deliver matches.
+
+The canonical data-reduction task: 268 million 64-byte tuples are
+filtered down to 1 %, so on Active Disks only the matches ever cross the
+interconnect while the SMP hauls the entire relation over its FC loop.
+All three architectures run the same single scan phase; the routing of
+the output differs only in what "front-end" means on each machine.
+"""
+
+from __future__ import annotations
+
+from ...arch.program import CostComponent, Phase, TaskProgram
+from ...tracegen.costs import SELECT_FILTER_NS
+from .base import TaskContext, register_task
+
+__all__ = ["build_select"]
+
+
+@register_task("select")
+def build_select(context: TaskContext) -> TaskProgram:
+    dataset = context.dataset
+    selectivity = context.param("selectivity")
+    return TaskProgram(task="select", phases=(
+        Phase(
+            name="scan",
+            read_bytes_total=dataset.total_bytes,
+            cpu=(CostComponent("filter", SELECT_FILTER_NS),),
+            frontend_fraction=selectivity,
+        ),
+    ))

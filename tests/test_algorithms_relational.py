@@ -1,0 +1,130 @@
+"""Tests for the reference relational algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.algorithms import (
+    aggregate_sum,
+    grace_hash_join,
+    groupby_sum,
+    make_relation,
+    select,
+)
+
+
+class TestMakeRelation:
+    def test_shape_and_determinism(self):
+        a = make_relation(100, 10, seed=1)
+        b = make_relation(100, 10, seed=1)
+        assert len(a) == 100
+        assert (a.key == b.key).all() and (a.value == b.value).all()
+
+    def test_keys_within_domain(self):
+        rel = make_relation(500, 7, seed=2)
+        assert rel.key.min() >= 0 and rel.key.max() < 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_relation(-1, 10)
+        with pytest.raises(ValueError):
+            make_relation(10, 0)
+
+
+class TestSelect:
+    def test_filters_by_predicate(self):
+        rel = make_relation(1000, 50, seed=3)
+        out = select(rel, lambda r: r.value < 100)
+        assert (out.value < 100).all()
+        assert len(out) == int((rel.value < 100).sum())
+
+    def test_selectivity_close_to_target(self):
+        rel = make_relation(20_000, 50, seed=4, payload=1000)
+        out = select(rel, lambda r: r.value < 10)  # 1 % selectivity
+        assert len(out) / len(rel) == pytest.approx(0.01, abs=0.004)
+
+    def test_bad_predicate_shape_rejected(self):
+        rel = make_relation(10, 5)
+        with pytest.raises(ValueError):
+            select(rel, lambda r: np.array([True]))
+
+
+class TestAggregate:
+    def test_matches_numpy_sum(self):
+        rel = make_relation(5000, 50, seed=5)
+        assert aggregate_sum(rel) == int(rel.value.sum())
+
+    def test_empty_relation(self):
+        assert aggregate_sum(make_relation(0, 5)) == 0
+
+
+class TestGroupby:
+    def test_group_sums_match_bruteforce(self):
+        rel = make_relation(2000, 25, seed=6)
+        groups = groupby_sum(rel)
+        for key in range(25):
+            expected = int(rel.value[rel.key == key].sum())
+            assert groups.get(key, 0) == expected
+
+    def test_total_preserved(self):
+        rel = make_relation(3000, 100, seed=7)
+        assert sum(groupby_sum(rel).values()) == int(rel.value.sum())
+
+    @given(st.integers(min_value=1, max_value=2000),
+           st.integers(min_value=1, max_value=100),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_group_count_bounded_by_distinct(self, count, distinct, seed):
+        rel = make_relation(count, distinct, seed=seed)
+        groups = groupby_sum(rel)
+        assert len(groups) <= min(count, distinct)
+        assert sum(groups.values()) == int(rel.value.sum())
+
+
+class TestGraceHashJoin:
+    def brute_force_size(self, left, right):
+        from collections import Counter
+        left_keys = Counter(left.key.tolist())
+        return sum(left_keys[int(k)] for k in right.key)
+
+    def test_output_size_matches_bruteforce(self):
+        left = make_relation(300, 30, seed=8)
+        right = make_relation(400, 30, seed=9)
+        out = grace_hash_join(left, right)
+        assert len(out) == self.brute_force_size(left, right)
+
+    def test_keys_match_in_every_row(self):
+        left = make_relation(100, 10, seed=10)
+        right = make_relation(100, 10, seed=11)
+        for key, _, _ in grace_hash_join(left, right):
+            assert 0 <= key < 10
+
+    def test_partition_count_does_not_change_result(self):
+        left = make_relation(200, 16, seed=12)
+        right = make_relation(200, 16, seed=13)
+        a = sorted(grace_hash_join(left, right, partitions=2))
+        b = sorted(grace_hash_join(left, right, partitions=16))
+        assert a == b
+
+    def test_empty_inputs(self):
+        empty = make_relation(0, 5)
+        other = make_relation(50, 5, seed=14)
+        assert grace_hash_join(empty, other) == []
+        assert grace_hash_join(other, empty) == []
+
+    def test_validation(self):
+        rel = make_relation(10, 5)
+        with pytest.raises(ValueError):
+            grace_hash_join(rel, rel, partitions=0)
+
+    @given(st.integers(min_value=0, max_value=300),
+           st.integers(min_value=0, max_value=300),
+           st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_size_property_random_inputs(self, nl, nr, distinct, seed):
+        left = make_relation(nl, distinct, seed=seed)
+        right = make_relation(nr, distinct, seed=seed + 1)
+        out = grace_hash_join(left, right)
+        assert len(out) == self.brute_force_size(left, right)

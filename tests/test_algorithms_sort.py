@@ -1,0 +1,103 @@
+"""Tests for the reference external sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.algorithms import (
+    external_sort,
+    form_runs,
+    make_sort_records,
+    merge_runs,
+    partition_by_key_range,
+)
+
+
+class TestPartition:
+    def test_partitions_cover_everything(self):
+        records = make_sort_records(1000, seed=1)
+        parts = partition_by_key_range(records, workers=4)
+        assert sum(len(p) for p in parts) == 1000
+
+    def test_ranges_are_ordered(self):
+        records = make_sort_records(1000, seed=2)
+        parts = partition_by_key_range(records, workers=4)
+        previous_max = -1
+        for part in parts:
+            if len(part):
+                assert part.key.min() > previous_max
+                previous_max = part.key.max()
+
+    def test_validation(self):
+        records = make_sort_records(10)
+        with pytest.raises(ValueError):
+            partition_by_key_range(records, workers=0)
+
+
+class TestRuns:
+    def test_runs_are_sorted(self):
+        records = make_sort_records(500, seed=3)
+        for run in form_runs(records, run_records=64):
+            assert (np.diff(run.key) >= 0).all()
+
+    def test_run_count_matches_memory_bound(self):
+        records = make_sort_records(500, seed=4)
+        runs = form_runs(records, run_records=64)
+        assert len(runs) == (500 + 63) // 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            form_runs(make_sort_records(10), run_records=0)
+
+    def test_stability(self):
+        records = make_sort_records(200, seed=5)
+        runs = form_runs(records, run_records=50)
+        total = sum(len(r) for r in runs)
+        assert total == 200
+
+
+class TestMerge:
+    def test_merge_produces_sorted_output(self):
+        records = make_sort_records(300, seed=6)
+        merged = merge_runs(form_runs(records, run_records=37))
+        assert (np.diff(merged.key) >= 0).all()
+        assert len(merged) == 300
+
+    def test_merge_is_permutation(self):
+        records = make_sort_records(200, seed=7)
+        merged = merge_runs(form_runs(records, run_records=23))
+        assert sorted(merged.payload.tolist()) == sorted(
+            records.payload.tolist())
+
+    def test_merge_empty(self):
+        assert len(merge_runs([])) == 0
+
+
+class TestEndToEnd:
+    def test_global_sortedness(self):
+        records = make_sort_records(2000, seed=8)
+        parts = external_sort(records, workers=4, run_records=100)
+        keys = np.concatenate([p.key for p in parts if len(p)])
+        assert (np.diff(keys) >= 0).all()
+
+    def test_no_records_lost(self):
+        records = make_sort_records(1500, seed=9)
+        parts = external_sort(records, workers=3, run_records=128)
+        payloads = np.concatenate([p.payload for p in parts if len(p)])
+        assert sorted(payloads.tolist()) == list(range(1500))
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=200),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_sort_property(self, count, workers, run_records, seed):
+        records = make_sort_records(count, seed=seed)
+        parts = external_sort(records, workers=workers,
+                              run_records=run_records)
+        keys = np.concatenate([p.key for p in parts if len(p)]) \
+            if any(len(p) for p in parts) else np.array([])
+        assert len(keys) == count
+        if count > 1:
+            assert (np.diff(keys) >= 0).all()

@@ -1,0 +1,140 @@
+"""Unit + property tests for the task-program model and engine helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import CostComponent, Dribble, Phase, TaskProgram, WorkLatch
+from repro.sim import Simulator
+
+
+class TestCostComponent:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostComponent("x", -1.0)
+
+
+class TestPhase:
+    def test_minimal_phase(self):
+        phase = Phase(name="scan", read_bytes_total=1000)
+        assert phase.cpu_total_ns_per_byte == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Phase(name="p", read_bytes_total=-1)
+        with pytest.raises(ValueError):
+            Phase(name="p", read_bytes_total=1, shuffle_fraction=-0.5)
+        with pytest.raises(ValueError):
+            Phase(name="p", read_bytes_total=1, read_streams=0)
+
+    def test_cost_totals(self):
+        phase = Phase(
+            name="p", read_bytes_total=1,
+            cpu=(CostComponent("a", 10.0), CostComponent("b", 5.0)),
+            recv=(CostComponent("c", 3.0),))
+        assert phase.cpu_total_ns_per_byte == pytest.approx(15.0)
+        assert phase.recv_total_ns_per_byte == pytest.approx(3.0)
+
+
+class TestTaskProgram:
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            TaskProgram(task="t", phases=())
+
+    def test_volume_totals(self):
+        program = TaskProgram(task="t", phases=(
+            Phase(name="a", read_bytes_total=100, shuffle_fraction=0.5),
+            Phase(name="b", read_bytes_total=200),
+        ))
+        assert program.total_read_bytes() == 300
+        assert program.total_shuffle_bytes() == 50
+
+
+class TestDribble:
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Dribble(-0.1)
+
+    def test_exact_total_for_unit_fraction(self):
+        dribble = Dribble(1.0)
+        total = sum(dribble.take(7) for _ in range(100))
+        assert total == 700
+
+    def test_zero_fraction_never_emits(self):
+        dribble = Dribble(0.0)
+        assert sum(dribble.take(13) for _ in range(50)) == 0
+
+    @given(st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+           st.lists(st.integers(min_value=1, max_value=10_000),
+                    min_size=1, max_size=100))
+    @settings(max_examples=200)
+    def test_never_drifts_more_than_one_byte(self, fraction, chunks):
+        dribble = Dribble(fraction)
+        taken = 0
+        given_out = 0
+        for chunk in chunks:
+            given_out += dribble.take(chunk)
+            taken += chunk
+            assert abs(given_out - fraction * taken) <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           st.lists(st.integers(min_value=1, max_value=10_000),
+                    min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_outputs_are_nonnegative(self, fraction, chunks):
+        dribble = Dribble(fraction)
+        for chunk in chunks:
+            assert dribble.take(chunk) >= 0
+
+
+class TestWorkLatch:
+    def test_done_without_begin_rejected(self):
+        latch = WorkLatch(Simulator())
+        with pytest.raises(RuntimeError):
+            latch.done()
+
+    def test_drained_waits_for_open_work(self):
+        sim = Simulator()
+        latch = WorkLatch(sim)
+        finished = []
+        def work():
+            latch.begin()
+            yield sim.timeout(5.0)
+            latch.done()
+        def waiter():
+            yield sim.timeout(1.0)  # ensure work began
+            yield from latch.drained()
+            finished.append(sim.now)
+        sim.process(work())
+        sim.process(waiter())
+        sim.run()
+        assert finished == [5.0]
+
+    def test_drained_with_no_work_returns_immediately(self):
+        sim = Simulator()
+        latch = WorkLatch(sim)
+        finished = []
+        def waiter():
+            yield from latch.drained()
+            finished.append(sim.now)
+        sim.process(waiter())
+        sim.run()
+        assert finished == [0.0]
+
+    def test_multiple_workers(self):
+        sim = Simulator()
+        latch = WorkLatch(sim)
+        finished = []
+        def work(delay):
+            latch.begin()
+            yield sim.timeout(delay)
+            latch.done()
+        def waiter():
+            yield sim.timeout(0.5)
+            yield from latch.drained()
+            finished.append(sim.now)
+        for delay in (1.0, 4.0, 2.0):
+            sim.process(work(delay))
+        sim.process(waiter())
+        sim.run()
+        assert finished == [4.0]

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_scale
+
+
+class TestParseScale:
+    def test_fraction_syntax(self):
+        assert parse_scale("1/32") == pytest.approx(1 / 32)
+
+    def test_decimal_syntax(self):
+        assert parse_scale("0.25") == pytest.approx(0.25)
+
+    def test_unit(self):
+        assert parse_scale("1") == 1.0
+
+    def test_out_of_range(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_scale("2")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_scale("0")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_arch_and_task(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--task", "select"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--arch", "active"])
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--arch", "active", "--task", "vacuum"])
+
+    def test_bad_task_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--tasks", "select,vacuum"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "select" in out and "active" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--arch", "active", "--disks", "8",
+                     "--task", "select", "--scale", "1/256"]) == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out and "phase scan" in out
+
+    def test_run_with_variants(self, capsys):
+        assert main(["run", "--arch", "active", "--disks", "8",
+                     "--task", "sort", "--scale", "1/256",
+                     "--memory-mb", "64", "--restricted"]) == 0
+        out = capsys.readouterr().out
+        assert "frontend_relay_bytes" in out
+
+    def test_run_fibreswitch(self, capsys):
+        assert main(["run", "--arch", "active", "--disks", "8",
+                     "--task", "sort", "--scale", "1/256",
+                     "--fibreswitch", "4"]) == 0
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "8/98" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "dmine" in capsys.readouterr().out
+
+    def test_fig1_small(self, capsys):
+        assert main(["fig1", "--sizes", "4", "--tasks", "select",
+                     "--scale", "1/256"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--sizes", "4", "--tasks", "select",
+                     "--scale", "1/256"]) == 0
+        assert "Figure 5" in capsys.readouterr().out

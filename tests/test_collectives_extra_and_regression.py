@@ -1,0 +1,110 @@
+"""Tests for broadcast/scatter/gather and the regression comparator."""
+
+import pytest
+
+from repro.experiments.regression import (
+    Regression,
+    compare_rows,
+    render_regressions,
+)
+from repro.net import FatTree, Messaging, Network
+from repro.sim import Simulator
+
+KB = 1024
+
+
+def run_collective(hosts, method, *args, **kwargs):
+    sim = Simulator()
+    messaging = Messaging(Network(FatTree(sim, hosts)), hosts)
+    done = []
+
+    def participant(host):
+        yield from getattr(messaging, method)(host, *args, **kwargs)
+        done.append(host)
+
+    for host in range(hosts):
+        sim.process(participant(host))
+    sim.run()
+    return sim, done
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("hosts", [2, 5, 8, 16])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_completes_for_any_root(self, hosts, root):
+        _, done = run_collective(hosts, "broadcast",
+                                 root % hosts, 32 * KB, key="b")
+        assert sorted(done) == list(range(hosts))
+
+    def test_logarithmic_rounds(self):
+        sim16, _ = run_collective(16, "broadcast", 0, 256 * KB, key="b")
+        sim4, _ = run_collective(4, "broadcast", 0, 256 * KB, key="b")
+        # 16 hosts = 4 rounds vs 2 rounds: ~2x, not 4x.
+        assert sim16.now < 3.0 * sim4.now
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("hosts", [2, 7, 8])
+    def test_scatter_completes(self, hosts):
+        _, done = run_collective(hosts, "scatter", 0, 16 * KB, key="s")
+        assert sorted(done) == list(range(hosts))
+
+    @pytest.mark.parametrize("hosts", [2, 7, 8])
+    def test_gather_completes(self, hosts):
+        _, done = run_collective(hosts, "gather", 0, 16 * KB, key="g")
+        assert sorted(done) == list(range(hosts))
+
+    def test_scatter_serializes_at_root_link(self):
+        sim, _ = run_collective(8, "scatter", 0, 512 * KB, key="s")
+        wire = 512 * KB / 12_500_000
+        assert sim.now >= 7 * wire
+
+
+def row(figure="fig1", task="select", arch="active", disks=16,
+        elapsed=1.0):
+    return {"figure": figure, "task": task, "arch": arch,
+            "disks": disks, "elapsed_s": elapsed}
+
+
+class TestRegressionComparison:
+    def test_no_change_no_regressions(self):
+        rows = [row(), row(task="sort", elapsed=5.0)]
+        assert compare_rows(rows, [dict(r) for r in rows]) == []
+
+    def test_detects_slowdown(self):
+        baseline = [row(elapsed=1.0)]
+        current = [row(elapsed=1.2)]
+        found = compare_rows(baseline, current, tolerance=0.05)
+        assert len(found) == 1
+        assert found[0].change == pytest.approx(0.2)
+
+    def test_within_tolerance_ignored(self):
+        baseline = [row(elapsed=1.0)]
+        current = [row(elapsed=1.03)]
+        assert compare_rows(baseline, current, tolerance=0.05) == []
+
+    def test_new_cells_ignored(self):
+        baseline = [row()]
+        current = [row(), row(task="sort", elapsed=9.0)]
+        assert compare_rows(baseline, current) == []
+
+    def test_sorted_by_magnitude(self):
+        baseline = [row(task="a", elapsed=1.0), row(task="b", elapsed=1.0)]
+        current = [row(task="a", elapsed=1.1), row(task="b", elapsed=2.0)]
+        found = compare_rows(baseline, current, tolerance=0.05)
+        assert [dict(f.key)["task"] for f in found] == ["b", "a"]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_rows([], [], tolerance=-0.1)
+
+    def test_render(self):
+        found = compare_rows([row(elapsed=1.0)], [row(elapsed=2.0)])
+        text = render_regressions(found)
+        assert "select" in text and "+100.0%" in text
+        assert render_regressions([]) == "no regressions"
+
+    def test_zero_baseline(self):
+        regression = Regression(key=(), metric="x", baseline=0.0,
+                                current=1.0)
+        assert regression.change == float("inf")

@@ -1,0 +1,98 @@
+"""Tests for concurrent (mixed-workload) execution on one machine."""
+
+import pytest
+
+from repro.arch import (
+    ActiveDiskConfig,
+    ClusterConfig,
+    SMPConfig,
+    build_machine,
+)
+from repro.sim import Simulator
+from repro.workloads import build_program
+
+TINY = 1 / 256
+
+CONFIGS = [ActiveDiskConfig(num_disks=8), ClusterConfig(num_disks=8),
+           SMPConfig(num_disks=8)]
+IDS = ["active", "cluster", "smp"]
+
+
+def run_concurrent(config, tasks, scale=TINY):
+    sim = Simulator()
+    machine = build_machine(sim, config)
+    programs = [build_program(task, config, scale) for task in tasks]
+    return machine.run_concurrent(programs)
+
+
+def run_single(config, task, scale=TINY):
+    sim = Simulator()
+    machine = build_machine(sim, config)
+    return machine.run(build_program(task, config, scale))
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=IDS)
+class TestConcurrent:
+    def test_empty_rejected(self, config):
+        sim = Simulator()
+        machine = build_machine(sim, config)
+        with pytest.raises(ValueError):
+            machine.run_concurrent([])
+
+    def test_single_program_equivalent_to_run(self, config):
+        alone = run_single(config, "select")
+        concurrent = run_concurrent(config, ["select"])[0]
+        assert concurrent.elapsed == pytest.approx(alone.elapsed, rel=0.01)
+
+    def test_two_programs_both_complete(self, config):
+        results = run_concurrent(config, ["select", "aggregate"])
+        assert len(results) == 2
+        assert {r.task for r in results} == {"select", "aggregate"}
+        assert all(r.elapsed > 0 for r in results)
+
+    def test_contention_slows_both(self, config):
+        alone = run_single(config, "select").elapsed
+        shared = run_concurrent(config, ["select", "select"])
+        # Two identical scans over the same media: each takes notably
+        # longer than running alone (media/CPU contention), but less
+        # than strictly double (some overlap in non-bottleneck stages).
+        for result in shared:
+            assert result.elapsed > 1.2 * alone
+            assert result.elapsed < 3.0 * alone
+
+    def test_phase_results_kept_separate(self, config):
+        results = run_concurrent(config, ["select", "sort"])
+        select = next(r for r in results if r.task == "select")
+        sort = next(r for r in results if r.task == "sort")
+        assert len(select.phases) == 1
+        assert len(sort.phases) == 2
+        assert select.phases[0].busy  # buckets attributed, not empty
+
+    def test_byte_accounting_sums(self, config):
+        results = run_concurrent(config, ["select", "aggregate"])
+        total_read = results[0].extras["disk_bytes_read"]
+        # extras come from the shared machine: both programs' reads.
+        select_bytes = build_program(
+            "select", config, TINY).total_read_bytes()
+        aggregate_bytes = build_program(
+            "aggregate", config, TINY).total_read_bytes()
+        assert total_read == pytest.approx(
+            select_bytes + aggregate_bytes, rel=0.02)
+
+
+class TestMixedWorkloadShape:
+    def test_short_query_finishes_before_long_one(self):
+        config = ActiveDiskConfig(num_disks=8)
+        results = run_concurrent(config, ["aggregate", "sort"])
+        aggregate = next(r for r in results if r.task == "aggregate")
+        sort = next(r for r in results if r.task == "sort")
+        assert aggregate.elapsed < sort.elapsed
+
+    def test_scan_interference_on_smp_interconnect(self):
+        """On the SMP both scans share one loop: running two roughly
+        doubles each scan's time (bandwidth is the binding resource)."""
+        config = SMPConfig(num_disks=16)
+        alone = run_single(config, "select", scale=1 / 64).elapsed
+        both = run_concurrent(config, ["select", "select"], scale=1 / 64)
+        for result in both:
+            assert result.elapsed > 1.6 * alone

@@ -1,0 +1,171 @@
+"""Cross-validation: trace generator vs. machine engines vs. invariants.
+
+Three independent layers of this codebase account for the same bytes:
+the task builders (phase fractions), the trace generator (per-worker
+records), and the machine engines (per-resource counters). These tests
+pin them against each other — and use hypothesis to hammer the engines
+with random programs, asserting conservation invariants hold for any
+dataflow, not just the eight tasks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    ActiveDiskConfig,
+    ClusterConfig,
+    CostComponent,
+    Phase,
+    SMPConfig,
+    TaskProgram,
+    build_machine,
+)
+from repro.experiments import run_task
+from repro.sim import Simulator
+from repro.tracegen import trace_totals
+from repro.workloads import build_program, registered_tasks
+
+MB = 1_000_000
+TINY = 1 / 256
+
+ARCHS = {
+    "active": ActiveDiskConfig,
+    "cluster": ClusterConfig,
+    "smp": SMPConfig,
+}
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHS))
+@pytest.mark.parametrize("task", sorted(registered_tasks()))
+class TestTraceVsMachine:
+    def test_disk_reads_match_trace(self, arch, task):
+        config = ARCHS[arch](num_disks=8)
+        program = build_program(task, config, TINY)
+        result = run_task(config, task, TINY)
+        expected = sum(
+            trace_totals(program, w, 8)["read_bytes"] for w in range(8))
+        assert result.extras["disk_bytes_read"] == pytest.approx(
+            expected, rel=0.02)
+
+    def test_frontend_bytes_match_trace(self, arch, task):
+        config = ARCHS[arch](num_disks=8)
+        program = build_program(task, config, TINY)
+        result = run_task(config, task, TINY)
+        expected = sum(
+            trace_totals(program, w, 8)["frontend_bytes"]
+            for w in range(8))
+        assert result.extras["frontend_bytes"] == pytest.approx(
+            expected, rel=0.02, abs=1024)
+
+
+# -- hypothesis: random programs must conserve bytes everywhere ------------
+phase_strategy = st.builds(
+    Phase,
+    name=st.just("p"),
+    read_bytes_total=st.integers(min_value=1 * MB, max_value=32 * MB),
+    cpu=st.just((CostComponent("work", 10.0),)),
+    shuffle_fraction=st.floats(min_value=0.0, max_value=1.0,
+                               allow_nan=False),
+    recv=st.just((CostComponent("collect", 10.0),)),
+    recv_write_fraction=st.floats(min_value=0.0, max_value=1.0,
+                                  allow_nan=False),
+    frontend_fraction=st.floats(min_value=0.0, max_value=0.2,
+                                allow_nan=False),
+    write_fraction=st.floats(min_value=0.0, max_value=1.0,
+                             allow_nan=False),
+    read_streams=st.integers(min_value=1, max_value=4),
+)
+
+
+class TestConservationProperties:
+    @given(phase=phase_strategy,
+           arch=st.sampled_from(sorted(ARCHS)),
+           disks=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_conserved_for_any_program(self, phase, arch, disks):
+        config = ARCHS[arch](num_disks=disks)
+        program = TaskProgram(task="random", phases=(phase,))
+        sim = Simulator()
+        machine = build_machine(sim, config)
+        result = machine.run(program)
+
+        total = phase.read_bytes_total
+        block = config.io_request_bytes
+
+        # Everything declared is read (within block rounding).
+        assert result.extras["disk_bytes_read"] == pytest.approx(
+            total, rel=0.02)
+
+        # Writes = local write fraction + shuffled recv writes, within
+        # per-worker rounding of one block each.
+        expected_writes = (total * phase.write_fraction
+                           + total * phase.shuffle_fraction
+                           * phase.recv_write_fraction)
+        workers = machine.worker_count
+        assert abs(result.extras["disk_bytes_written"] - expected_writes) \
+            <= 3 * workers * block * 0.01 + 2 * workers * 512 + \
+            0.02 * expected_writes + workers
+
+        # Front-end receives its fraction.
+        assert result.extras["frontend_bytes"] == pytest.approx(
+            total * phase.frontend_fraction, rel=0.02,
+            abs=workers * 2)
+
+        # The run terminated with a positive, finite clock.
+        assert 0 < result.elapsed < 1e5
+
+    @given(phase=phase_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_active_fc_bytes_bounded_by_traffic(self, phase):
+        """FC traffic = shuffle (minus local share) + front-end bytes."""
+        config = ActiveDiskConfig(num_disks=4)
+        program = TaskProgram(task="random", phases=(phase,))
+        sim = Simulator()
+        machine = build_machine(sim, config)
+        result = machine.run(program)
+        total = phase.read_bytes_total
+        block = config.io_request_bytes
+        workers = 4
+        # With a uniform destination cycle, (W-1)/W of the shuffle crosses
+        # the loop; workers sending fewer batches than peers may route
+        # everything off-node, so allow one block of slack per worker.
+        uniform = (total * phase.shuffle_fraction * (workers - 1) / workers
+                   + total * phase.frontend_fraction)
+        upper = (total * phase.shuffle_fraction
+                 + total * phase.frontend_fraction)
+        slack = workers * block
+        assert uniform - slack <= result.extras["fc_bytes"] <= upper + slack
+
+    @given(phase=phase_strategy,
+           arch=st.sampled_from(sorted(ARCHS)))
+    @settings(max_examples=10, deadline=None)
+    def test_determinism_for_any_program(self, phase, arch):
+        config = ARCHS[arch](num_disks=4)
+        program = TaskProgram(task="random", phases=(phase,))
+        def once():
+            sim = Simulator()
+            return build_machine(sim, config).run(program).elapsed
+        assert once() == once()
+
+    @given(phases=st.lists(phase_strategy, min_size=2, max_size=4),
+           arch=st.sampled_from(sorted(ARCHS)))
+    @settings(max_examples=15, deadline=None)
+    def test_multi_phase_programs_conserve_and_sequence(self, phases,
+                                                        arch):
+        """Random multi-phase programs: phases run in order, times sum,
+        reads conserve per phase."""
+        named = tuple(
+            Phase(**{**phase.__dict__, "name": f"p{i}"})
+            for i, phase in enumerate(phases))
+        config = ARCHS[arch](num_disks=4)
+        program = TaskProgram(task="multi", phases=named)
+        sim = Simulator()
+        result = build_machine(sim, config).run(program)
+        assert [p.name for p in result.phases] == \
+            [p.name for p in named]
+        assert sum(p.elapsed for p in result.phases) == pytest.approx(
+            result.elapsed, rel=1e-9)
+        expected_reads = sum(p.read_bytes_total for p in named)
+        assert result.extras["disk_bytes_read"] == pytest.approx(
+            expected_reads, rel=0.02)

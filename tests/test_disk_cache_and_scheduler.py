@@ -1,0 +1,144 @@
+"""Unit tests for the segmented cache and request-queue disciplines."""
+
+import pytest
+
+from repro.disk import RequestQueue, SegmentedCache
+from repro.disk.drive import DiskRequest
+from repro.sim import Event, Simulator
+
+
+def make_cache(segments=4, segment_sectors=512):
+    return SegmentedCache(segments, segment_sectors)
+
+
+class TestSegmentedCache:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegmentedCache(0, 512)
+        with pytest.raises(ValueError):
+            SegmentedCache(4, 0)
+
+    def test_first_access_is_miss(self):
+        cache = make_cache()
+        outcome = cache.lookup("read", 0, 100)
+        assert not outcome.buffer_hit and not outcome.streaming
+        assert cache.misses == 1
+
+    def test_sequential_continuation_streams(self):
+        cache = make_cache()
+        cache.lookup("read", 0, 100)
+        outcome = cache.lookup("read", 100, 200)
+        assert outcome.streaming and not outcome.buffer_hit
+        assert cache.streaming_hits == 1
+
+    def test_reread_recent_data_is_buffer_hit(self):
+        cache = make_cache()
+        cache.lookup("read", 0, 100)
+        cache.lookup("read", 100, 200)
+        outcome = cache.lookup("read", 50, 150)
+        assert outcome.buffer_hit
+
+    def test_data_falls_out_of_window(self):
+        cache = make_cache(segments=1, segment_sectors=100)
+        cache.lookup("read", 0, 100)
+        cache.lookup("read", 100, 200)   # window now [100, 200)
+        outcome = cache.lookup("read", 0, 50)
+        assert not outcome.buffer_hit
+
+    def test_multiple_concurrent_streams(self):
+        cache = make_cache(segments=2)
+        cache.lookup("read", 0, 100)
+        cache.lookup("read", 10_000, 10_100)
+        assert cache.lookup("read", 100, 200).streaming
+        assert cache.lookup("read", 10_100, 10_200).streaming
+
+    def test_stream_eviction_when_over_capacity(self):
+        cache = make_cache(segments=2)
+        cache.lookup("read", 0, 100)          # stream A
+        cache.lookup("read", 10_000, 10_100)  # stream B
+        cache.lookup("read", 20_000, 20_100)  # stream C evicts A (LRU)
+        outcome = cache.lookup("read", 100, 200)  # A's continuation
+        assert not outcome.streaming
+
+    def test_writes_do_not_match_read_streams(self):
+        cache = make_cache()
+        cache.lookup("read", 0, 100)
+        outcome = cache.lookup("write", 100, 200)
+        assert not outcome.streaming
+
+    def test_write_stream_continuation(self):
+        cache = make_cache()
+        cache.lookup("write", 0, 100)
+        assert cache.lookup("write", 100, 200).streaming
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache().lookup("read", 100, 100)
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.lookup("read", 0, 100)
+        cache.invalidate()
+        assert not cache.lookup("read", 100, 200).streaming
+
+    def test_total_lookups(self):
+        cache = make_cache()
+        cache.lookup("read", 0, 100)
+        cache.lookup("read", 100, 200)
+        assert cache.total_lookups == 2
+
+
+def request(sim, lbn, cylinder):
+    req = DiskRequest(op="read", lbn=lbn, nbytes=512,
+                      done=Event(sim), issued_at=0.0)
+    req.cylinder = cylinder
+    return req
+
+
+class TestRequestQueue:
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            RequestQueue("elevator-music")
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(IndexError):
+            RequestQueue().pop_next(0)
+
+    def test_fcfs_order(self):
+        sim = Simulator()
+        queue = RequestQueue("fcfs")
+        for cyl in (500, 10, 900):
+            queue.push(request(sim, 0, cyl))
+        assert [queue.pop_next(0).cylinder for _ in range(3)] == [500, 10, 900]
+
+    def test_sstf_picks_nearest(self):
+        sim = Simulator()
+        queue = RequestQueue("sstf")
+        for cyl in (500, 10, 900):
+            queue.push(request(sim, 0, cyl))
+        assert queue.pop_next(450).cylinder == 500
+        assert queue.pop_next(500).cylinder == 900
+        assert queue.pop_next(900).cylinder == 10
+
+    def test_look_continues_direction_then_reverses(self):
+        sim = Simulator()
+        queue = RequestQueue("look")
+        for cyl in (100, 300, 50):
+            queue.push(request(sim, 0, cyl))
+        assert queue.pop_next(90).cylinder == 100
+        assert queue.pop_next(100).cylinder == 300
+        assert queue.pop_next(300).cylinder == 50
+
+    def test_max_depth_tracked(self):
+        sim = Simulator()
+        queue = RequestQueue()
+        for cyl in range(5):
+            queue.push(request(sim, 0, cyl))
+        queue.pop_next(0)
+        assert queue.max_depth == 5
+
+    def test_single_item_shortcut(self):
+        sim = Simulator()
+        queue = RequestQueue("sstf")
+        queue.push(request(sim, 0, 123))
+        assert queue.pop_next(0).cylinder == 123

@@ -1,0 +1,120 @@
+"""Unit + property tests for the seek curve and rotational model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import (
+    SEAGATE_ST39102,
+    DiskGeometry,
+    DiskMechanics,
+    SeekCurve,
+)
+
+SPEC = SEAGATE_ST39102
+GEOMETRY = DiskGeometry(SPEC)
+MECHANICS = DiskMechanics(SPEC, GEOMETRY)
+
+
+class TestSeekCurve:
+    def test_zero_distance_is_free(self):
+        assert MECHANICS.read_seek(0) == 0.0
+
+    def test_track_to_track_anchor(self):
+        assert MECHANICS.read_seek(1) == pytest.approx(
+            SPEC.seek_track_to_track)
+
+    def test_average_anchor_at_one_third_stroke(self):
+        knee = MECHANICS.read_seek.knee
+        assert MECHANICS.read_seek(knee) == pytest.approx(
+            SPEC.seek_avg_read)
+
+    def test_maximum_anchor_at_full_stroke(self):
+        assert MECHANICS.read_seek(SPEC.cylinders - 1) == pytest.approx(
+            SPEC.seek_max_read, rel=0.01)
+
+    def test_write_seeks_slower_than_reads(self):
+        for distance in (1, 100, 2000, 6000):
+            assert (MECHANICS.write_seek(distance)
+                    > MECHANICS.read_seek(distance))
+
+    def test_invalid_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            SeekCurve(1000, track_to_track=5e-3, average=1e-3, maximum=2e-3)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            MECHANICS.read_seek(-1)
+
+    def test_beyond_stroke_rejected(self):
+        with pytest.raises(ValueError):
+            MECHANICS.read_seek(SPEC.cylinders)
+
+    @given(st.integers(min_value=1, max_value=SPEC.cylinders - 2))
+    @settings(max_examples=200)
+    def test_monotonically_nondecreasing(self, distance):
+        assert (MECHANICS.read_seek(distance + 1)
+                >= MECHANICS.read_seek(distance) - 1e-12)
+
+    @given(st.integers(min_value=1, max_value=SPEC.cylinders - 1))
+    @settings(max_examples=200)
+    def test_bounded_by_anchors(self, distance):
+        value = MECHANICS.read_seek(distance)
+        assert SPEC.seek_track_to_track <= value <= SPEC.seek_max_read + 1e-9
+
+
+class TestRotation:
+    def test_delay_bounded_by_one_revolution(self):
+        for now in (0.0, 1e-3, 17e-3):
+            for lbn in (0, 1000, GEOMETRY.total_sectors - 1):
+                delay = MECHANICS.rotational_delay(now, lbn)
+                assert 0.0 <= delay < SPEC.revolution_time
+
+    def test_deterministic(self):
+        a = MECHANICS.rotational_delay(1.234, 5678)
+        b = MECHANICS.rotational_delay(1.234, 5678)
+        assert a == b
+
+    def test_waiting_one_revolution_returns_same_sector(self):
+        delay = MECHANICS.rotational_delay(1.0, 999)
+        later = MECHANICS.rotational_delay(1.0 + SPEC.revolution_time, 999)
+        assert delay == pytest.approx(later, abs=1e-12)
+
+    @given(st.floats(min_value=0, max_value=100, allow_nan=False),
+           st.integers(min_value=0, max_value=GEOMETRY.total_sectors - 1))
+    @settings(max_examples=200)
+    def test_delay_always_forward(self, now, lbn):
+        assert MECHANICS.rotational_delay(now, lbn) >= 0.0
+
+
+class TestTransfer:
+    def test_zero_bytes_is_free(self):
+        assert MECHANICS.transfer_time(0, 0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            MECHANICS.transfer_time(0, -1)
+
+    def test_outer_zone_faster_than_inner(self):
+        nbytes = 1 << 20
+        outer = MECHANICS.transfer_time(0, nbytes)
+        inner = MECHANICS.transfer_time(GEOMETRY.total_sectors - 10, nbytes)
+        assert outer < inner
+
+    def test_rate_matches_published_band(self):
+        nbytes = 10 * 1000 * 1000
+        outer_rate = nbytes / MECHANICS.transfer_time(0, nbytes)
+        assert outer_rate == pytest.approx(SPEC.media_rate_max, rel=0.06)
+
+
+class TestPositioning:
+    def test_returns_target_cylinder(self):
+        lbn = GEOMETRY.total_sectors // 2
+        delay, cylinder = MECHANICS.positioning_time(0.0, 0, lbn, False)
+        expected_cyl, _, _ = GEOMETRY.lbn_to_chs(lbn)
+        assert cylinder == expected_cyl
+        assert delay > 0
+
+    def test_same_position_costs_only_rotation(self):
+        delay, _ = MECHANICS.positioning_time(0.0, 0, 0, False)
+        assert delay < SPEC.revolution_time

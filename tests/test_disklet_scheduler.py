@@ -1,0 +1,108 @@
+"""Tests for the DiskOS disklet scheduler."""
+
+import pytest
+
+from repro.diskos import DiskletScheduler
+from repro.host import REFERENCE_MHZ, Cpu
+from repro.sim import Simulator
+
+
+def make(quantum=5e-3, dispatch=0.0, mhz=REFERENCE_MHZ):
+    sim = Simulator()
+    cpu = Cpu(sim, mhz, name="dcpu")
+    return sim, cpu, DiskletScheduler(sim, cpu, quantum=quantum,
+                                      dispatch_cost=dispatch)
+
+
+class TestValidation:
+    def test_bad_quantum(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DiskletScheduler(sim, Cpu(sim, 200), quantum=0)
+
+    def test_bad_dispatch(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DiskletScheduler(sim, Cpu(sim, 200), dispatch_cost=-1)
+
+    def test_negative_work(self):
+        sim, cpu, scheduler = make()
+        with pytest.raises(ValueError):
+            list(scheduler.run("x", -1.0))
+
+
+class TestScheduling:
+    def test_single_disklet_takes_its_work_time(self):
+        sim, _, scheduler = make()
+        def proc():
+            yield from scheduler.run("scan", 0.1)
+        sim.process(proc())
+        sim.run()
+        assert sim.now == pytest.approx(0.1)
+        assert scheduler.usage("scan") == pytest.approx(0.1)
+
+    def test_clock_scaling_applies(self):
+        sim, _, scheduler = make(mhz=REFERENCE_MHZ / 2)
+        def proc():
+            yield from scheduler.run("scan", 0.1)
+        sim.process(proc())
+        sim.run()
+        assert sim.now == pytest.approx(0.2)
+
+    def test_two_equal_disklets_share_fairly(self):
+        sim, _, scheduler = make(quantum=1e-3)
+        finish = {}
+        def proc(name):
+            yield from scheduler.run(name, 0.05)
+            finish[name] = sim.now
+        sim.process(proc("a"))
+        sim.process(proc("b"))
+        sim.run()
+        # Both finish around 2x their solo time, within one quantum.
+        assert finish["a"] == pytest.approx(0.1, abs=2e-3)
+        assert finish["b"] == pytest.approx(0.1, abs=2e-3)
+
+    def test_interleaving_at_quantum_granularity(self):
+        """A short disklet arriving mid-run finishes long before a long
+        one that started first — no head-of-line blocking."""
+        sim, _, scheduler = make(quantum=1e-3)
+        finish = {}
+        def long_job():
+            yield from scheduler.run("long", 0.2)
+            finish["long"] = sim.now
+        def short_job():
+            yield sim.timeout(0.01)
+            yield from scheduler.run("short", 0.005)
+            finish["short"] = sim.now
+        sim.process(long_job())
+        sim.process(short_job())
+        sim.run()
+        assert finish["short"] < 0.25 * finish["long"]
+
+    def test_dispatch_overhead_accounted(self):
+        sim, cpu, scheduler = make(quantum=1e-3, dispatch=1e-4)
+        def proc():
+            yield from scheduler.run("scan", 0.01)
+        sim.process(proc())
+        sim.run()
+        assert scheduler.dispatches == 10
+        assert scheduler.overhead_fraction() == pytest.approx(
+            0.1 / 1.1, abs=0.02)
+        assert cpu.busy.buckets["dispatch"] == pytest.approx(1e-3)
+
+    def test_usage_by_disklet(self):
+        sim, cpu, scheduler = make(quantum=2e-3)
+        def proc(name, work):
+            yield from scheduler.run(name, work)
+        sim.process(proc("a", 0.02))
+        sim.process(proc("b", 0.04))
+        sim.run()
+        assert scheduler.usage("a") == pytest.approx(0.02)
+        assert scheduler.usage("b") == pytest.approx(0.04)
+        assert cpu.busy.buckets["disklet:a"] == pytest.approx(0.02)
+
+    def test_register_idempotent(self):
+        _, _, scheduler = make()
+        scheduler.register("x")
+        scheduler.register("x")
+        assert scheduler.usage("x") == 0.0

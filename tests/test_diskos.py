@@ -1,0 +1,97 @@
+"""Unit tests for DiskOS: memory budget, streams, disklets."""
+
+import pytest
+
+from repro.diskos import (
+    BASE_COMM_BUFFERS,
+    BASE_MEMORY,
+    DiskMemory,
+    Disklet,
+    SinkKind,
+    StreamSpec,
+)
+
+MB = 1_000_000
+
+
+class TestDiskMemory:
+    def test_minimum_memory_enforced(self):
+        with pytest.raises(ValueError):
+            DiskMemory(total_bytes=4 * MB)
+
+    def test_comm_buffers_scale_with_memory(self):
+        """The paper doubles/quadruples comm buffers at 64/128 MB."""
+        base = DiskMemory(32 * MB).layout()
+        double = DiskMemory(64 * MB).layout()
+        quad = DiskMemory(128 * MB).layout()
+        assert base.comm_buffers == BASE_COMM_BUFFERS
+        assert double.comm_buffers == 2 * BASE_COMM_BUFFERS
+        assert quad.comm_buffers == 4 * BASE_COMM_BUFFERS
+
+    def test_direct_d2d_increases_footprint(self):
+        with_d2d = DiskMemory(32 * MB, direct_disk_to_disk=True).layout()
+        without = DiskMemory(32 * MB, direct_disk_to_disk=False).layout()
+        assert with_d2d.os_footprint > without.os_footprint
+
+    def test_scratch_is_the_remainder(self):
+        layout = DiskMemory(32 * MB).layout()
+        used = (layout.os_footprint
+                + layout.stream_buffers * layout.stream_buffer_bytes
+                + layout.comm_buffers * layout.comm_buffer_bytes)
+        assert layout.scratch == 32 * MB - used
+        assert layout.scratch > 20 * MB
+
+    def test_more_memory_more_scratch(self):
+        assert (DiskMemory(64 * MB).scratch_bytes()
+                > DiskMemory(32 * MB).scratch_bytes())
+
+    def test_base_memory_constant(self):
+        assert BASE_MEMORY == 32 * MB
+
+
+class TestStreamSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamSpec(SinkKind.FRONTEND, fraction=-0.1)
+        with pytest.raises(ValueError):
+            StreamSpec(SinkKind.FRONTEND, fixed_bytes=-1)
+        with pytest.raises(ValueError):
+            StreamSpec(SinkKind.DISCARD, fraction=0.5)
+
+    def test_fractional_bytes(self):
+        spec = StreamSpec(SinkKind.FRONTEND, fraction=0.01)
+        assert spec.bytes_for(1000, 100_000, emitted_fixed=False) == 10
+
+    def test_fixed_tail_emitted_at_end(self):
+        spec = StreamSpec(SinkKind.FRONTEND, fixed_bytes=640)
+        assert spec.bytes_for(500, 1000, emitted_fixed=False) == 0
+        assert spec.bytes_for(1000, 1000, emitted_fixed=False) == 640
+        assert spec.bytes_for(1000, 1000, emitted_fixed=True) == 0
+
+
+class TestDisklet:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Disklet("bad", cpu_ns_per_byte=-1)
+        with pytest.raises(ValueError):
+            Disklet("bad", recv_write_fraction=1.5)
+        with pytest.raises(ValueError):
+            Disklet("bad", scratch_bytes=-1)
+
+    def test_uses_peers(self):
+        shuffler = Disklet("partitioner", outputs=(
+            StreamSpec(SinkKind.PEER, fraction=1.0),))
+        scanner = Disklet("filter", outputs=(
+            StreamSpec(SinkKind.FRONTEND, fraction=0.01),))
+        assert shuffler.uses_peers
+        assert not scanner.uses_peers
+
+    def test_output_accounting(self):
+        disklet = Disklet("multi", outputs=(
+            StreamSpec(SinkKind.PEER, fraction=0.5),
+            StreamSpec(SinkKind.PEER, fraction=0.25),
+            StreamSpec(SinkKind.FRONTEND, fixed_bytes=1024),
+        ))
+        assert disklet.output_to(SinkKind.PEER) == pytest.approx(0.75)
+        assert disklet.fixed_to(SinkKind.FRONTEND) == 1024
+        assert disklet.output_to(SinkKind.MEDIA) == 0.0

@@ -1,0 +1,139 @@
+"""Tests for the DiskOS runtime bridge (disklet graphs -> programs)."""
+
+import pytest
+
+from repro.arch import ActiveDiskConfig, build_machine
+from repro.diskos import (
+    DiskMemory,
+    Disklet,
+    DiskletStage,
+    SinkKind,
+    StreamSpec,
+    phase_from_disklet,
+    program_from_disklets,
+    validate_disklet,
+)
+from repro.sim import Simulator
+
+MB = 1_000_000
+
+
+def scan_disklet(fraction=0.01):
+    return Disklet(
+        name="filter",
+        cpu_ns_per_byte=50.0,
+        outputs=(StreamSpec(SinkKind.FRONTEND, fraction=fraction),),
+        scratch_bytes=64 * 1024,
+    )
+
+
+def shuffle_disklet():
+    return Disklet(
+        name="partitioner",
+        cpu_ns_per_byte=30.0,
+        outputs=(StreamSpec(SinkKind.PEER, fraction=1.0),),
+        recv_cpu_ns_per_byte=40.0,
+        recv_write_fraction=1.0,
+    )
+
+
+class TestValidation:
+    def test_scratch_within_budget_passes(self):
+        layout = DiskMemory(32 * MB).layout()
+        validate_disklet(scan_disklet(), layout)
+
+    def test_oversized_scratch_rejected(self):
+        layout = DiskMemory(32 * MB).layout()
+        greedy = Disklet(name="greedy", scratch_bytes=layout.scratch + 1)
+        with pytest.raises(ValueError):
+            validate_disklet(greedy, layout)
+
+    def test_peer_streams_need_direct_d2d(self):
+        layout = DiskMemory(32 * MB, direct_disk_to_disk=False).layout()
+        with pytest.raises(ValueError):
+            validate_disklet(shuffle_disklet(), layout,
+                             direct_disk_to_disk=False)
+
+    def test_frontend_only_disklet_fine_without_d2d(self):
+        layout = DiskMemory(32 * MB, direct_disk_to_disk=False).layout()
+        validate_disklet(scan_disklet(), layout,
+                         direct_disk_to_disk=False)
+
+
+class TestLowering:
+    def test_phase_carries_costs_and_routing(self):
+        stage = DiskletStage(disklet=scan_disklet(0.02),
+                             read_bytes_total=64 * MB,
+                             frontend_cpu_ns_per_byte=5.0)
+        phase = phase_from_disklet(stage)
+        assert phase.name == "filter"
+        assert phase.read_bytes_total == 64 * MB
+        assert phase.cpu[0].ns_per_byte == 50.0
+        assert phase.frontend_fraction == pytest.approx(0.02)
+        assert phase.frontend_cpu_ns_per_byte == 5.0
+        assert phase.scratch_bytes == 64 * 1024
+
+    def test_peer_routing_lowered_to_shuffle(self):
+        stage = DiskletStage(disklet=shuffle_disklet(),
+                             read_bytes_total=32 * MB)
+        phase = phase_from_disklet(stage)
+        assert phase.shuffle_fraction == pytest.approx(1.0)
+        assert phase.recv[0].ns_per_byte == 40.0
+        assert phase.recv_write_fraction == 1.0
+
+    def test_media_output_lowered_to_write(self):
+        writer = Disklet(name="writer", cpu_ns_per_byte=10.0, outputs=(
+            StreamSpec(SinkKind.MEDIA, fraction=0.5),))
+        phase = phase_from_disklet(
+            DiskletStage(disklet=writer, read_bytes_total=MB))
+        assert phase.write_fraction == pytest.approx(0.5)
+
+    def test_fixed_tails_lowered(self):
+        counter = Disklet(name="counter", cpu_ns_per_byte=20.0, outputs=(
+            StreamSpec(SinkKind.FRONTEND, fixed_bytes=4096),
+            StreamSpec(SinkKind.PEER, fixed_bytes=2048),
+        ))
+        phase = phase_from_disklet(
+            DiskletStage(disklet=counter, read_bytes_total=MB))
+        assert phase.frontend_fixed_per_worker == 4096
+        assert phase.shuffle_fixed_per_worker == 2048
+
+
+class TestPrograms:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            program_from_disklets("empty", [])
+
+    def test_program_runs_on_machine(self):
+        program = program_from_disklets("scan-shuffle", [
+            DiskletStage(disklet=shuffle_disklet(),
+                         read_bytes_total=32 * MB),
+            DiskletStage(disklet=scan_disklet(),
+                         read_bytes_total=32 * MB),
+        ])
+        sim = Simulator()
+        machine = build_machine(sim, ActiveDiskConfig(num_disks=8))
+        result = machine.run(program)
+        assert [p.name for p in result.phases] == ["partitioner", "filter"]
+        assert result.elapsed > 0
+
+    def test_layout_validation_at_assembly(self):
+        layout = DiskMemory(32 * MB).layout()
+        greedy = Disklet(name="greedy", scratch_bytes=layout.scratch + 1)
+        with pytest.raises(ValueError):
+            program_from_disklets("big", [
+                DiskletStage(disklet=greedy, read_bytes_total=MB)],
+                layout=layout)
+
+    def test_restricted_machine_still_runs_peer_disklet(self):
+        """The sandbox check is about DiskOS capability; the restricted
+        *machine* still executes the program by relaying via the
+        front-end (the Figure 5 experiment)."""
+        program = program_from_disklets("shuffle", [
+            DiskletStage(disklet=shuffle_disklet(),
+                         read_bytes_total=16 * MB)])
+        sim = Simulator()
+        machine = build_machine(
+            sim, ActiveDiskConfig(num_disks=4).restricted())
+        result = machine.run(program)
+        assert result.extras["frontend_relay_bytes"] > 0

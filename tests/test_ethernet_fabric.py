@@ -1,0 +1,64 @@
+"""Tests for the NASD-style Ethernet fabric for Active Disks."""
+
+import pytest
+
+from repro.arch import ActiveDiskConfig
+from repro.experiments import run_task
+
+SCALE = 1 / 64
+
+
+class TestConfig:
+    def test_variant(self):
+        config = ActiveDiskConfig(num_disks=8).with_ethernet()
+        assert config.interconnect_kind == "ethernet"
+
+    def test_runs_every_task_shape(self):
+        config = ActiveDiskConfig(num_disks=8).with_ethernet()
+        for task in ("select", "sort", "groupby"):
+            result = run_task(config, task, 1 / 256)
+            assert result.elapsed > 0
+
+
+class TestTradeOff:
+    """The Ethernet fabric inverts the FC loop's trade-off."""
+
+    def test_scaling_bisection_wins_shuffles_at_128(self):
+        fc = run_task(ActiveDiskConfig(num_disks=128), "sort",
+                      SCALE).elapsed
+        eth = run_task(ActiveDiskConfig(num_disks=128).with_ethernet(),
+                       "sort", SCALE).elapsed
+        assert eth < 0.8 * fc
+
+    def test_thin_frontend_link_loses_groupby_at_128(self):
+        fc = run_task(ActiveDiskConfig(num_disks=128), "groupby",
+                      SCALE).elapsed
+        eth = run_task(ActiveDiskConfig(num_disks=128).with_ethernet(),
+                       "groupby", SCALE).elapsed
+        assert eth > 1.5 * fc
+
+    def test_small_farms_indifferent(self):
+        fc = run_task(ActiveDiskConfig(num_disks=16), "sort",
+                      SCALE).elapsed
+        eth = run_task(ActiveDiskConfig(num_disks=16).with_ethernet(),
+                       "sort", SCALE).elapsed
+        assert eth == pytest.approx(fc, rel=0.15)
+
+    def test_tiny_result_tasks_indifferent_everywhere(self):
+        """aggregate ships bytes, not megabytes: no fabric can matter."""
+        for disks in (16, 128):
+            fc = run_task(ActiveDiskConfig(num_disks=disks), "aggregate",
+                          SCALE).elapsed
+            eth = run_task(
+                ActiveDiskConfig(num_disks=disks).with_ethernet(),
+                "aggregate", SCALE).elapsed
+            assert eth == pytest.approx(fc, rel=0.1)
+
+    def test_select_pays_the_thin_frontend_pipe_at_scale(self):
+        """Even 1% of 16 GB (160 MB) chokes a 12.5 MB/s front-end link
+        once the scan itself takes only seconds."""
+        fc = run_task(ActiveDiskConfig(num_disks=128), "select",
+                      SCALE).elapsed
+        eth = run_task(ActiveDiskConfig(num_disks=128).with_ethernet(),
+                       "select", SCALE).elapsed
+        assert 1.2 < eth / fc < 2.5

@@ -1,0 +1,139 @@
+"""Tests for functional co-simulation: outputs must equal the reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.funcsim import FunctionalCluster
+from repro.workloads.algorithms import (
+    aggregate_sum,
+    grace_hash_join,
+    groupby_sum,
+    make_relation,
+    make_sort_records,
+    select,
+)
+
+
+class TestSelect:
+    def test_matches_reference(self):
+        records = make_relation(2_000, 50, seed=1)
+        cluster = FunctionalCluster(workers=4)
+        output, stats = cluster.select(records, lambda r: r.value < 100)
+        reference = select(records, lambda r: r.value < 100)
+        assert sorted(output.value.tolist()) == \
+            sorted(reference.value.tolist())
+        assert stats.elapsed > 0
+        assert stats.messages >= 3
+
+    def test_empty_result(self):
+        records = make_relation(500, 10, seed=2)
+        cluster = FunctionalCluster(workers=4)
+        output, _ = cluster.select(records, lambda r: r.value < 0)
+        assert len(output) == 0
+
+    def test_single_worker(self):
+        records = make_relation(300, 10, seed=3)
+        cluster = FunctionalCluster(workers=1)
+        output, stats = cluster.select(records, lambda r: r.value < 500)
+        assert len(output) == int((records.value < 500).sum())
+        assert stats.bytes_exchanged == 0  # nothing leaves the node
+
+    def test_network_carries_only_matches(self):
+        records = make_relation(4_000, 50, seed=4, payload=1_000)
+        cluster = FunctionalCluster(workers=4)
+        output, stats = cluster.select(records, lambda r: r.value < 10)
+        # ~1 % selectivity: traffic is a tiny fraction of the dataset.
+        assert stats.bytes_exchanged < 0.1 * records.nbytes
+
+
+class TestGroupBy:
+    def test_matches_reference(self):
+        records = make_relation(3_000, 40, seed=5)
+        cluster = FunctionalCluster(workers=4)
+        groups, _ = cluster.groupby_sum(records)
+        assert groups == groupby_sum(records)
+
+    def test_total_is_aggregate(self):
+        records = make_relation(1_000, 20, seed=6)
+        cluster = FunctionalCluster(workers=3)
+        groups, _ = cluster.groupby_sum(records)
+        assert sum(groups.values()) == aggregate_sum(records)
+
+    @given(st.integers(min_value=0, max_value=2_000),
+           st.integers(min_value=1, max_value=64),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=20))
+    @settings(max_examples=15, deadline=None)
+    def test_groupby_property(self, count, distinct, workers, seed):
+        records = make_relation(count, distinct, seed=seed)
+        cluster = FunctionalCluster(workers=workers)
+        groups, _ = cluster.groupby_sum(records)
+        assert groups == groupby_sum(records)
+
+
+class TestSort:
+    def test_globally_sorted_permutation(self):
+        records = make_sort_records(5_000, seed=7)
+        cluster = FunctionalCluster(workers=4)
+        outputs, stats = cluster.sort(records)
+        keys = np.concatenate([o.key for o in outputs if len(o)])
+        assert len(keys) == 5_000
+        assert (np.diff(keys) >= 0).all()
+        assert sorted(np.concatenate(
+            [o.payload for o in outputs if len(o)]).tolist()) == \
+            list(range(5_000))
+
+    def test_shuffle_moves_most_records(self):
+        records = make_sort_records(4_000, seed=8)
+        cluster = FunctionalCluster(workers=8)
+        _, stats = cluster.sort(records)
+        # Uniform keys: ~(W-1)/W of the volume crosses the network —
+        # the exact assumption the cost model makes.
+        expected = records.nbytes * 7 / 8
+        assert stats.bytes_exchanged == pytest.approx(expected, rel=0.15)
+
+    @given(st.integers(min_value=0, max_value=3_000),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_sort_property(self, count, workers, seed):
+        records = make_sort_records(count, seed=seed)
+        cluster = FunctionalCluster(workers=workers)
+        outputs, _ = cluster.sort(records)
+        keys = (np.concatenate([o.key for o in outputs if len(o)])
+                if any(len(o) for o in outputs) else np.array([]))
+        assert len(keys) == count
+        if count > 1:
+            assert (np.diff(keys) >= 0).all()
+
+
+class TestJoin:
+    def test_matches_reference(self):
+        left = make_relation(400, 30, seed=9)
+        right = make_relation(500, 30, seed=10)
+        cluster = FunctionalCluster(workers=4)
+        matches, _ = cluster.hash_join(left, right)
+        assert sorted(matches) == sorted(grace_hash_join(left, right))
+
+    def test_empty_side(self):
+        left = make_relation(0, 10)
+        right = make_relation(100, 10, seed=11)
+        cluster = FunctionalCluster(workers=3)
+        matches, _ = cluster.hash_join(left, right)
+        assert matches == []
+
+
+class TestScaling:
+    def test_more_workers_faster_when_compute_bound(self):
+        records = make_relation(20_000, 50, seed=12)
+        def elapsed(workers):
+            cluster = FunctionalCluster(workers=workers)
+            _, stats = cluster.select(records, lambda r: r.value < 5)
+            return stats.elapsed
+        assert elapsed(8) < 0.6 * elapsed(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalCluster(workers=0)

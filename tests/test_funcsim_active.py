@@ -1,0 +1,95 @@
+"""Tests for the Active Disk functional co-simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.funcsim import FunctionalActiveDisks
+from repro.workloads.algorithms import groupby_sum, make_relation, select
+
+MB = 1_000_000
+
+
+class TestSelect:
+    def test_matches_reference(self):
+        records = make_relation(5_000, 100, seed=1, payload=1_000)
+        farm = FunctionalActiveDisks(disks=8)
+        output, _ = farm.select(records, lambda r: r.value < 50)
+        reference = select(records, lambda r: r.value < 50)
+        assert sorted(output.value.tolist()) == \
+            sorted(reference.value.tolist())
+
+    def test_only_matches_cross_the_loop(self):
+        records = make_relation(20_000, 100, seed=2, payload=1_000)
+        farm = FunctionalActiveDisks(disks=8)
+        output, stats = farm.select(records, lambda r: r.value < 10)
+        assert stats.bytes_exchanged <= output.nbytes + 1024
+        assert stats.bytes_exchanged < 0.05 * records.nbytes
+
+    def test_media_time_charged(self):
+        records = make_relation(10_000, 50, seed=3)
+        farm = FunctionalActiveDisks(disks=4)
+        farm.select(records, lambda r: r.value < 100)
+        assert all(d.bytes_read > 0 for d in farm.drives)
+        assert all(d.busy.total() > 0 for d in farm.drives)
+
+    def test_empty_input(self):
+        records = make_relation(0, 10)
+        farm = FunctionalActiveDisks(disks=4)
+        output, stats = farm.select(records, lambda r: r.value < 5)
+        assert len(output) == 0
+        assert stats.bytes_exchanged == 0
+
+    def test_more_disks_faster(self):
+        records = make_relation(40_000, 100, seed=4)
+        def elapsed(disks):
+            farm = FunctionalActiveDisks(disks=disks)
+            _, stats = farm.select(records, lambda r: r.value < 5)
+            return stats.elapsed
+        assert elapsed(8) < 0.6 * elapsed(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalActiveDisks(disks=0)
+
+
+class TestGroupBy:
+    def test_matches_reference(self):
+        records = make_relation(6_000, 64, seed=5)
+        farm = FunctionalActiveDisks(disks=8)
+        groups, _ = farm.groupby_sum(records)
+        assert groups == groupby_sum(records)
+
+    def test_loop_carries_partial_tables_not_data(self):
+        records = make_relation(30_000, 32, seed=6)
+        farm = FunctionalActiveDisks(disks=8)
+        _, stats = farm.groupby_sum(records)
+        # 8 partial tables of <= 32 groups x 16 B each.
+        assert stats.bytes_exchanged <= 8 * 32 * 16
+        assert stats.bytes_exchanged < 0.05 * records.nbytes
+
+    @given(st.integers(min_value=0, max_value=3_000),
+           st.integers(min_value=1, max_value=80),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=20))
+    @settings(max_examples=15, deadline=None)
+    def test_groupby_property(self, count, distinct, disks, seed):
+        records = make_relation(count, distinct, seed=seed)
+        farm = FunctionalActiveDisks(disks=disks)
+        groups, _ = farm.groupby_sum(records)
+        assert groups == groupby_sum(records)
+
+
+class TestInterconnectSensitivity:
+    def test_slow_loop_only_hurts_when_results_are_big(self):
+        records = make_relation(30_000, 100, seed=7, payload=1_000)
+        def run(rate, cut):
+            farm = FunctionalActiveDisks(disks=8,
+                                         interconnect_rate=rate)
+            _, stats = farm.select(records, lambda r: r.value < cut)
+            return stats.elapsed
+        # 1% selectivity: a 100x slower loop costs a few percent.
+        assert run(2 * MB, 10) == pytest.approx(run(200 * MB, 10),
+                                                rel=0.3)
+        # 100% selectivity: a 100x slower loop is felt.
+        assert run(2 * MB, 10_000) > 1.5 * run(200 * MB, 10_000)

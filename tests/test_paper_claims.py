@@ -1,0 +1,198 @@
+"""Integration tests pinning the paper's headline results.
+
+These run the actual experiment simulations (at 1/64 scale — every
+bandwidth/compute ratio is scale-invariant by construction) and assert
+the qualitative and quantitative shapes the paper reports. They are the
+reproduction's acceptance tests.
+"""
+
+import pytest
+
+from repro.arch import ActiveDiskConfig
+from repro.disk import HITACHI_DK3E1T91
+from repro.experiments import config_for, run_task
+
+SCALE = 1 / 64
+MB = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """elapsed[(task, arch, disks)] for the combinations under test."""
+    elapsed = {}
+    combos = [
+        ("select", 16), ("select", 128),
+        ("aggregate", 128),
+        ("groupby", 128),
+        ("sort", 16), ("sort", 128),
+        ("join", 128),
+        ("mview", 128),
+        ("dmine", 128),
+        ("dcube", 128),
+    ]
+    for task, disks in combos:
+        for arch in ("active", "cluster", "smp"):
+            elapsed[(task, arch, disks)] = run_task(
+                config_for(arch, disks), task, SCALE).elapsed
+    return elapsed
+
+
+class TestFigure1Claims:
+    def test_16_disk_configurations_comparable(self, sweep):
+        """"for the 16-disk configurations, the performance of all three
+        architectures is comparable" (within Fig. 1a's 1.6x range)."""
+        for task in ("select", "sort"):
+            base = sweep[(task, "active", 16)]
+            for arch in ("cluster", "smp"):
+                assert 0.5 < sweep[(task, arch, 16)] / base < 1.7
+
+    def test_smp_slowdown_grows_with_size(self, sweep):
+        ratio_16 = sweep[("select", "smp", 16)] / sweep[("select", "active", 16)]
+        ratio_128 = sweep[("select", "smp", 128)] / sweep[("select", "active", 128)]
+        assert ratio_128 > 2.5 * ratio_16
+
+    def test_largest_gains_for_data_reduction_tasks_at_128(self, sweep):
+        """"8.5-9.5 fold on 128-disk configurations ... for
+        aggregate/select" (we accept 6-13x)."""
+        for task in ("select", "aggregate"):
+            ratio = sweep[(task, "smp", 128)] / sweep[(task, "active", 128)]
+            assert 6.0 < ratio < 13.0
+
+    def test_repartition_tasks_3_to_6_fold_at_128(self, sweep):
+        """"even tasks that repartition ... are significantly faster
+        (4-6 fold on 128-disk configurations)" (we accept 3-7x)."""
+        for task in ("sort", "join", "mview", "dmine"):
+            ratio = sweep[(task, "smp", 128)] / sweep[(task, "active", 128)]
+            assert 3.0 < ratio < 7.0
+
+    def test_groupby_cluster_frontend_bottleneck(self, sweep):
+        """"The performance of group-by on cluster configurations is
+        limited by end-point congestion at the frontend"."""
+        ratio = sweep[("groupby", "cluster", 128)] / \
+            sweep[("groupby", "active", 128)]
+        assert ratio > 1.5
+
+    def test_cluster_competitive_on_other_tasks(self, sweep):
+        """Clusters and Active Disks stay within a small factor."""
+        for task in ("select", "aggregate", "sort", "join"):
+            ratio = sweep[(task, "cluster", 128)] / \
+                sweep[(task, "active", 128)]
+            assert 0.3 < ratio < 1.7
+
+    def test_active_disks_never_worst_at_scale(self, sweep):
+        for task in ("select", "sort", "join", "mview", "dmine",
+                     "groupby", "dcube", "aggregate"):
+            active = sweep[(task, "active", 128)]
+            assert active <= sweep[(task, "smp", 128)]
+
+
+class TestFigure2Claims:
+    def test_doubling_interconnect_helps_smp_a_lot(self):
+        slow = run_task(config_for("smp", 64), "select", SCALE).elapsed
+        fast = run_task(
+            config_for("smp", 64).with_interconnect(400 * MB),
+            "select", SCALE).elapsed
+        assert fast < 0.7 * slow
+
+    def test_ad_at_200_beats_smp_at_400(self):
+        """"Active Disk configurations with a 200 MB/s I/O interconnect
+        outperform SMP configurations with a 400 MB/s interconnect"."""
+        for task in ("select", "sort"):
+            active = run_task(config_for("active", 128), task, SCALE).elapsed
+            smp400 = run_task(
+                config_for("smp", 128).with_interconnect(400 * MB),
+                task, SCALE).elapsed
+            assert smp400 > 1.4 * active
+
+    def test_ad_scan_tasks_insensitive_to_interconnect(self):
+        base = run_task(config_for("active", 128), "select", SCALE).elapsed
+        fast = run_task(
+            config_for("active", 128).with_interconnect(400 * MB),
+            "select", SCALE).elapsed
+        assert fast == pytest.approx(base, rel=0.05)
+
+    def test_ad_sort_gains_from_interconnect_at_128(self):
+        base = run_task(config_for("active", 128), "sort", SCALE).elapsed
+        fast = run_task(
+            config_for("active", 128).with_interconnect(400 * MB),
+            "sort", SCALE).elapsed
+        assert fast < 0.85 * base
+
+
+class TestFigure3Claims:
+    def run_sort(self, disks, **overrides):
+        config = ActiveDiskConfig(num_disks=disks, **overrides)
+        return run_task(config, "sort", SCALE)
+
+    def test_sort_phase_dominates(self):
+        result = self.run_sort(64)
+        p1, p2 = result.phases
+        assert p1.elapsed > p2.elapsed
+
+    def test_idle_small_up_to_64_disks(self):
+        for disks in (16, 64):
+            fractions = self.run_sort(disks).phases[0].fractions()
+            assert fractions["idle"] < 0.30
+
+    def test_idle_dominates_at_128_disks(self):
+        fractions = self.run_sort(128).phases[0].fractions()
+        assert fractions["idle"] > 0.45
+
+    def test_fast_disk_makes_little_difference_at_128(self):
+        base = self.run_sort(128).elapsed
+        fast_disk = self.run_sort(128, drive=HITACHI_DK3E1T91).elapsed
+        assert fast_disk > 0.9 * base
+
+    def test_fast_io_has_major_impact_at_128(self):
+        base = self.run_sort(128).elapsed
+        fast_io = run_task(
+            ActiveDiskConfig(num_disks=128).with_interconnect(400 * MB),
+            "sort", SCALE).elapsed
+        assert fast_io < 0.8 * base
+
+
+class TestFigure4Claims:
+    def improvement(self, task, disks):
+        base = run_task(ActiveDiskConfig(num_disks=disks), task, SCALE)
+        more = run_task(
+            ActiveDiskConfig(num_disks=disks).with_memory(64 * MB),
+            task, SCALE)
+        return 100.0 * (base.elapsed - more.elapsed) / base.elapsed
+
+    def test_most_tasks_insensitive_to_memory(self):
+        """"increasing the memory makes a negligible (~2%) difference"."""
+        for task in ("select", "join", "mview", "groupby", "aggregate",
+                     "dmine"):
+            assert abs(self.improvement(task, 64)) < 5.0
+
+    def test_sort_gains_slightly(self):
+        assert -1.0 < self.improvement("sort", 16) < 8.0
+
+    def test_dcube_large_gain_at_16_disks(self):
+        """"the largest performance improvement is only about 35 %
+        which occurs for 16-disk configurations"."""
+        assert 25.0 < self.improvement("dcube", 16) < 45.0
+
+    def test_dcube_smaller_gain_on_larger_configs(self):
+        assert self.improvement("dcube", 64) < 15.0
+        assert self.improvement("dcube", 64) > 3.0  # the Fig. 4 spike
+        assert abs(self.improvement("dcube", 128)) < 5.0
+
+
+class TestFigure5Claims:
+    def slowdown(self, task, disks=128):
+        direct = run_task(ActiveDiskConfig(num_disks=disks), task, SCALE)
+        restricted = run_task(
+            ActiveDiskConfig(num_disks=disks).restricted(), task, SCALE)
+        return restricted.elapsed / direct.elapsed
+
+    def test_repartition_tasks_hit_hard(self):
+        """"up to a five-fold slowdown for the three communication-
+        intensive tasks" (sort, join, mview)."""
+        for task in ("sort", "join", "mview"):
+            assert self.slowdown(task) > 3.0
+
+    def test_remaining_tasks_unaffected(self):
+        for task in ("select", "aggregate", "groupby", "dmine", "dcube"):
+            assert self.slowdown(task, disks=64) == pytest.approx(
+                1.0, abs=0.05)

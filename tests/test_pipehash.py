@@ -1,0 +1,92 @@
+"""Tests for the PipeHash planner (the paper's Section 4.3 arithmetic)."""
+
+import pytest
+
+from repro.workloads import child_table_sizes, plan_pipehash
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+ROOT = 695 * MB
+INPUT = 16 * GB
+
+
+class TestChildSizes:
+    def test_fourteen_children(self):
+        children = child_table_sizes(ROOT)
+        assert len(children) == 14
+
+    def test_children_sum_matches_published_total(self):
+        """The 14 non-root group-bys need ~2.3 GB (paper Section 4.3)."""
+        total = sum(g.table_bytes for g in child_table_sizes(ROOT))
+        assert total == pytest.approx(2.3 * GB, rel=0.05)
+
+    def test_arity_structure(self):
+        children = child_table_sizes(ROOT)
+        by_arity = {}
+        for child in children:
+            by_arity.setdefault(child.arity, []).append(child)
+        assert len(by_arity[3]) == 4
+        assert len(by_arity[2]) == 6
+        assert len(by_arity[1]) == 4
+
+    def test_smaller_arity_smaller_tables(self):
+        children = child_table_sizes(ROOT)
+        sizes_by_arity = {c.arity: c.table_bytes for c in children}
+        assert sizes_by_arity[1] < sizes_by_arity[2] < sizes_by_arity[3]
+        assert sizes_by_arity[3] < ROOT
+
+
+class TestPassPlanning:
+    def test_invalid_memory_rejected(self):
+        with pytest.raises(ValueError):
+            plan_pipehash(INPUT, ROOT, aggregate_memory=0)
+
+    def test_root_pass_scans_raw_input(self):
+        plan = plan_pipehash(INPUT, ROOT, aggregate_memory=4 * GB)
+        assert plan.passes[0].scans_raw_input
+        assert plan.passes[0].read_bytes == INPUT
+        assert not any(p.scans_raw_input for p in plan.passes[1:])
+
+    def test_paper_64_disk_thresholds(self):
+        """64 disks x 32 MB = 2 GB -> 3 passes; x 64 MB = 4 GB -> 2."""
+        at_2gb = plan_pipehash(INPUT, ROOT, aggregate_memory=2 * GB)
+        at_4gb = plan_pipehash(INPUT, ROOT, aggregate_memory=4 * GB)
+        assert at_2gb.num_passes == 3
+        assert at_4gb.num_passes == 2
+
+    def test_paper_16_disk_spill(self):
+        """16 disks x 32 MB = 512 MB < 695 MB root -> front-end spill;
+        x 64 MB = 1 GB -> no spill."""
+        spilled = plan_pipehash(INPUT, ROOT, aggregate_memory=512 * MB)
+        fits = plan_pipehash(INPUT, ROOT, aggregate_memory=1 * GB)
+        assert spilled.total_spill_bytes > 0
+        assert fits.total_spill_bytes == 0
+
+    def test_spill_volume_is_amplified(self):
+        plan = plan_pipehash(INPUT, ROOT, aggregate_memory=512 * MB)
+        assert plan.passes[0].spill_bytes > 5 * ROOT
+
+    def test_all_group_bys_scheduled_exactly_once(self):
+        plan = plan_pipehash(INPUT, ROOT, aggregate_memory=1 * GB)
+        scheduled = [g.attributes for p in plan.passes for g in p.group_bys]
+        assert len(scheduled) == 15
+        assert len(set(scheduled)) == 15
+
+    def test_each_child_pass_fits_memory(self):
+        for memory in (512 * MB, 1 * GB, 2 * GB, 4 * GB):
+            plan = plan_pipehash(INPUT, ROOT, aggregate_memory=memory)
+            for pass_plan in plan.passes[1:]:
+                total = sum(g.table_bytes for g in pass_plan.group_bys)
+                assert total <= memory
+
+    def test_more_memory_never_more_passes(self):
+        passes = [plan_pipehash(INPUT, ROOT, m).num_passes
+                  for m in (512 * MB, 1 * GB, 2 * GB, 4 * GB, 8 * GB)]
+        assert passes == sorted(passes, reverse=True)
+
+    def test_write_volume_equals_table_sizes(self):
+        plan = plan_pipehash(INPUT, ROOT, aggregate_memory=4 * GB)
+        written = sum(p.write_bytes for p in plan.passes)
+        tables = ROOT + sum(g.table_bytes for g in child_table_sizes(ROOT))
+        assert written == tables

@@ -1,0 +1,71 @@
+"""Tests for the price/performance analysis."""
+
+import pytest
+
+from repro.analysis import (
+    PricePerformance,
+    configuration_price,
+    price_performance_table,
+)
+from repro.arch import ActiveDiskConfig, ClusterConfig, SMPConfig, MB
+from repro.arch.costs import active_disk_cost, cluster_cost, smp_cost_estimate
+
+
+class TestConfigurationPrice:
+    def test_active_matches_cost_model(self):
+        config = ActiveDiskConfig(num_disks=64)
+        assert configuration_price(config) == pytest.approx(
+            active_disk_cost(64, "7/99"))
+
+    def test_active_memory_upgrade_priced(self):
+        base = configuration_price(ActiveDiskConfig(num_disks=64))
+        upgraded = configuration_price(
+            ActiveDiskConfig(num_disks=64, disk_memory_bytes=64 * MB))
+        assert upgraded > base
+
+    def test_cluster_matches_cost_model(self):
+        assert configuration_price(ClusterConfig(num_disks=32)) == \
+            pytest.approx(cluster_cost(32, "7/99"))
+
+    def test_smp_matches_estimate(self):
+        assert configuration_price(SMPConfig(num_disks=128)) == \
+            pytest.approx(smp_cost_estimate(128))
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(TypeError):
+            configuration_price(object())
+
+    def test_ordering_matches_paper(self):
+        """AD < cluster < SMP at every size."""
+        for disks in (16, 64, 128):
+            active = configuration_price(ActiveDiskConfig(num_disks=disks))
+            cluster = configuration_price(ClusterConfig(num_disks=disks))
+            smp = configuration_price(SMPConfig(num_disks=disks))
+            assert active < cluster < smp
+            assert smp > 10 * active
+
+
+class TestPricePerformanceTable:
+    def cells(self):
+        return [
+            PricePerformance("select", "active", 64, 10.0, 50_000),
+            PricePerformance("select", "cluster", 64, 8.0, 127_000),
+            PricePerformance("select", "smp", 64, 40.0, 1_500_000),
+        ]
+
+    def test_cost_seconds(self):
+        cell = PricePerformance("t", "active", 64, 2.0, 1000.0)
+        assert cell.cost_seconds == pytest.approx(2000.0)
+
+    def test_table_normalizes_to_active(self):
+        text = price_performance_table(self.cells())
+        assert "select@64" in text
+        # cluster: 8 * 127k / (10 * 50k) = 2.032 -> "2.0x"
+        assert "2.0x" in text
+        # smp: 40 * 1.5M / 0.5M = 120x
+        assert "120" in text
+
+    def test_table_skips_groups_without_active(self):
+        cells = [PricePerformance("x", "smp", 64, 1.0, 1.0)]
+        text = price_performance_table(cells)
+        assert "x@64" not in text

@@ -1,0 +1,147 @@
+"""Tests for the query-plan compiler."""
+
+import pytest
+
+from repro.arch import ActiveDiskConfig, SMPConfig, build_machine
+from repro.sim import Simulator
+from repro.workloads.queries import (
+    Filter,
+    GroupBy,
+    OrderBy,
+    Project,
+    QueryPlan,
+    Scan,
+    compile_plan,
+)
+
+GB = 1_000_000_000
+CONFIG = ActiveDiskConfig(num_disks=8)
+TINY = 1 / 256
+
+
+def fact_scan():
+    return Scan(rows=250_000_000, row_bytes=64)
+
+
+class TestOperatorValidation:
+    def test_scan(self):
+        with pytest.raises(ValueError):
+            Scan(rows=-1, row_bytes=64)
+        with pytest.raises(ValueError):
+            Scan(rows=10, row_bytes=0)
+
+    def test_filter(self):
+        with pytest.raises(ValueError):
+            Filter(selectivity=1.5)
+
+    def test_project(self):
+        with pytest.raises(ValueError):
+            Project(row_bytes=0)
+
+    def test_groupby(self):
+        with pytest.raises(ValueError):
+            GroupBy(groups=0)
+
+    def test_double_orderby_rejected(self):
+        with pytest.raises(ValueError):
+            QueryPlan("q", fact_scan(), (OrderBy(), OrderBy()))
+
+    def test_bad_scale(self):
+        plan = QueryPlan("q", fact_scan())
+        with pytest.raises(ValueError):
+            compile_plan(plan, CONFIG, scale=0)
+
+
+class TestVolumePropagation:
+    def test_pure_scan_streams_everything(self):
+        plan = QueryPlan("q", fact_scan())
+        program = compile_plan(plan, CONFIG, TINY)
+        phase = program.phases[0]
+        assert phase.read_bytes_total == int(16 * GB * TINY)
+        assert phase.frontend_fraction == pytest.approx(1.0)
+
+    def test_filter_cuts_result(self):
+        plan = QueryPlan("q", fact_scan(), (Filter(0.01),))
+        program = compile_plan(plan, CONFIG, TINY)
+        assert program.phases[0].frontend_fraction == pytest.approx(
+            0.01, rel=0.01)
+
+    def test_projection_narrows_rows(self):
+        plan = QueryPlan("q", fact_scan(),
+                         (Filter(0.1), Project(row_bytes=16)))
+        program = compile_plan(plan, CONFIG, TINY)
+        assert program.phases[0].frontend_fraction == pytest.approx(
+            0.1 * 16 / 64, rel=0.01)
+
+    def test_groupby_caps_cardinality(self):
+        plan = QueryPlan("q", fact_scan(),
+                         (GroupBy(groups=1000, entry_bytes=32),))
+        program = compile_plan(plan, CONFIG, TINY)
+        expected = 1000 * TINY * 32 / (16 * GB * TINY)
+        assert program.phases[0].frontend_fraction == pytest.approx(
+            expected, rel=0.01)
+
+    def test_operators_stack_cpu(self):
+        plan = QueryPlan("q", fact_scan(),
+                         (Filter(0.5), GroupBy(groups=100)))
+        program = compile_plan(plan, CONFIG, TINY)
+        labels = [c.label for c in program.phases[0].cpu]
+        assert labels == ["filter", "hash"]
+
+
+class TestOrderBy:
+    def plan(self):
+        return QueryPlan(
+            "top-groups", fact_scan(),
+            (Filter(0.1), GroupBy(groups=13_500_000), OrderBy()))
+
+    def test_emits_sort_phases(self):
+        program = compile_plan(self.plan(), CONFIG, TINY)
+        assert [p.name for p in program.phases] == \
+            ["scan", "order", "merge"]
+        order = program.phases[1]
+        assert order.shuffle_fraction == 1.0
+
+    def test_sort_runs_over_intermediate_not_input(self):
+        program = compile_plan(self.plan(), CONFIG, TINY)
+        scan, order, merge = program.phases
+        assert order.read_bytes_total < 0.2 * scan.read_bytes_total
+        assert merge.read_bytes_total == order.read_bytes_total
+
+    def test_smp_splits_groups(self):
+        program = compile_plan(self.plan(), SMPConfig(num_disks=8), TINY)
+        assert program.phases[1].split_disk_groups
+
+    def test_merge_streams_result_to_frontend(self):
+        program = compile_plan(self.plan(), CONFIG, TINY)
+        assert program.phases[2].frontend_fraction == pytest.approx(1.0)
+
+
+class TestExecution:
+    def test_compiled_query_runs_on_all_machines(self):
+        from repro.arch import ClusterConfig
+        plan = QueryPlan(
+            "q1", fact_scan(),
+            (Filter(0.05), GroupBy(groups=100_000), OrderBy()))
+        for config in (ActiveDiskConfig(num_disks=8),
+                       ClusterConfig(num_disks=8),
+                       SMPConfig(num_disks=8)):
+            program = compile_plan(plan, config, TINY)
+            sim = Simulator()
+            result = build_machine(sim, config).run(program)
+            assert result.elapsed > 0
+            assert len(result.phases) == 3
+
+    def test_filtering_before_sort_pays_off(self):
+        """Classic optimizer lesson, reproduced by the simulator: the
+        selective filter makes the sort nearly free."""
+        config = ActiveDiskConfig(num_disks=8)
+        selective = compile_plan(QueryPlan(
+            "sel", fact_scan(), (Filter(0.01), OrderBy())), config, TINY)
+        full = compile_plan(QueryPlan(
+            "full", fact_scan(), (OrderBy(),)), config, TINY)
+        sim1 = Simulator()
+        t_selective = build_machine(sim1, config).run(selective).elapsed
+        sim2 = Simulator()
+        t_full = build_machine(sim2, config).run(full).elapsed
+        assert t_selective < 0.5 * t_full

@@ -1,0 +1,110 @@
+"""Tests for report rendering (bars) and structured export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import (
+    fig1_rows,
+    fig3_rows,
+    fig4_rows,
+    fig5_rows,
+    render_bars,
+    render_grouped_bars,
+    rows_to_csv,
+    rows_to_json,
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+)
+
+TINY = 1 / 512
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return run_fig1(sizes=(4,), tasks=("select", "aggregate"), scale=TINY)
+
+
+class TestBars:
+    def test_longest_bar_has_full_width(self):
+        text = render_bars("T", {"a": 1.0, "b": 4.0}, width=20)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "#" * 20 in text
+        assert text.count("#" * 20) == 1
+
+    def test_bar_lengths_proportional(self):
+        text = render_bars("T", {"a": 1.0, "b": 2.0}, width=30)
+        a_line = next(l for l in text.splitlines() if l.startswith("a"))
+        b_line = next(l for l in text.splitlines() if l.startswith("b"))
+        assert a_line.count("#") == 15
+        assert b_line.count("#") == 30
+
+    def test_zero_values_render_empty(self):
+        text = render_bars("T", {"a": 0.0, "b": 1.0})
+        a_line = next(l for l in text.splitlines() if l.startswith("a"))
+        assert "#" not in a_line
+
+    def test_empty_values(self):
+        assert render_bars("T", {}) == "T"
+
+    def test_grouped_bars_scale_across_groups(self):
+        text = render_grouped_bars("G", {
+            "g1": {"x": 2.0},
+            "g2": {"x": 4.0},
+        }, width=10)
+        lines = text.splitlines()
+        g1_bar = lines[lines.index("[g1]") + 1]
+        g2_bar = lines[lines.index("[g2]") + 1]
+        assert g1_bar.count("#") == 5
+        assert g2_bar.count("#") == 10
+
+
+class TestExport:
+    def test_fig1_rows_complete(self, fig1):
+        rows = fig1_rows(fig1)
+        assert len(rows) == 1 * 2 * 3  # sizes x tasks x archs
+        active = [r for r in rows if r["arch"] == "active"]
+        assert all(r["normalized"] == pytest.approx(1.0) for r in active)
+
+    def test_fig3_rows_fractions_sum_to_one(self):
+        result = run_fig3(sizes=(4,), scale=TINY)
+        rows = fig3_rows(result)
+        by_phase = {}
+        for row in rows:
+            key = (row["disks"], row["variant"], row["phase"])
+            by_phase.setdefault(key, 0.0)
+            by_phase[key] += row["fraction"]
+        for key, total in by_phase.items():
+            assert total == pytest.approx(1.0, abs=0.02), key
+
+    def test_fig4_rows_have_improvements(self):
+        result = run_fig4(sizes=(4,), tasks=("select",),
+                          memories_mb=(32, 64), scale=TINY)
+        rows = fig4_rows(result)
+        improved = [r for r in rows if "improvement_pct" in r]
+        assert improved and all(r["memory_mb"] == 64 for r in improved)
+
+    def test_fig5_rows_paired_modes(self):
+        result = run_fig5(sizes=(4,), tasks=("select",), scale=TINY)
+        rows = fig5_rows(result)
+        modes = {row["mode"] for row in rows}
+        assert modes == {"direct", "restricted"}
+
+    def test_csv_round_trip(self, fig1):
+        text = rows_to_csv(fig1_rows(fig1))
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 6
+        assert {"task", "arch", "elapsed_s"} <= set(parsed[0])
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_json_round_trip(self, fig1):
+        rows = json.loads(rows_to_json(fig1_rows(fig1)))
+        assert len(rows) == 6
+        assert all(isinstance(r["elapsed_s"], float) for r in rows)

@@ -1,0 +1,124 @@
+"""Tests for the time-series sampler and heterogeneous-farm configs."""
+
+import pytest
+
+from repro.arch import ActiveDiskConfig, build_machine
+from repro.disk import HITACHI_DK3E1T91, SEAGATE_ST39102, fast_variant
+from repro.sim import Sampler, Simulator, sparkline
+from repro.workloads import build_program
+
+
+class TestSampler:
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Sampler(sim, interval=0, probes={"x": lambda: 0.0})
+        with pytest.raises(ValueError):
+            Sampler(sim, interval=1.0, probes={})
+
+    def test_samples_at_fixed_interval(self):
+        sim = Simulator()
+        sampler = Sampler(sim, interval=1.0,
+                          probes={"clock": lambda: sim.now})
+        def work():
+            yield sim.timeout(5.0)
+        sim.process(work())
+        sim.run()
+        times = [t for t, _ in sampler.series("clock")]
+        # One trailing tick may land after the last event (the sampler
+        # only notices the queue drained on its next wake-up).
+        assert times[:6] == pytest.approx([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        assert len(times) <= 7
+
+    def test_sampler_does_not_keep_simulation_alive(self):
+        sim = Simulator()
+        Sampler(sim, interval=0.1, probes={"x": lambda: 1.0})
+        def work():
+            yield sim.timeout(0.35)
+        sim.process(work())
+        sim.run()
+        assert sim.now < 0.6
+
+    def test_probe_values_recorded(self):
+        sim = Simulator()
+        state = {"v": 0.0}
+        sampler = Sampler(sim, interval=1.0,
+                          probes={"v": lambda: state["v"]})
+        def work():
+            yield sim.timeout(1.5)
+            state["v"] = 7.0
+            yield sim.timeout(1.5)
+        sim.process(work())
+        sim.run()
+        values = [v for _, v in sampler.series("v")]
+        assert values[0] == 0.0 and values[-1] == 7.0
+
+    def test_render_produces_one_line_per_probe(self):
+        sim = Simulator()
+        sampler = Sampler(sim, interval=0.5, probes={
+            "a": lambda: 1.0, "b": lambda: 2.0})
+        def work():
+            yield sim.timeout(2.0)
+        sim.process(work())
+        sim.run()
+        lines = sampler.render().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a")
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero_is_blank(self):
+        assert sparkline([0.0, 0.0, 0.0]).strip() == ""
+
+    def test_peak_uses_strongest_glyph(self):
+        text = sparkline([0.0, 0.5, 1.0], width=3)
+        assert text[-1] == "@"
+
+    def test_resamples_to_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_short_input_keeps_length(self):
+        assert len(sparkline([1.0, 2.0], width=40)) == 2
+
+
+class TestHeterogeneousFarms:
+    def test_override_validation(self):
+        with pytest.raises(ValueError):
+            ActiveDiskConfig(num_disks=4,
+                             drive_overrides=((9, HITACHI_DK3E1T91),))
+
+    def test_drive_for(self):
+        config = ActiveDiskConfig(num_disks=4).with_degraded_drive(
+            2, HITACHI_DK3E1T91)
+        assert config.drive_for(2) is HITACHI_DK3E1T91
+        assert config.drive_for(0) is SEAGATE_ST39102
+
+    def test_with_degraded_drive_replaces(self):
+        config = ActiveDiskConfig(num_disks=4)
+        config = config.with_degraded_drive(1, HITACHI_DK3E1T91)
+        config = config.with_degraded_drive(1, SEAGATE_ST39102)
+        assert config.drive_for(1) is SEAGATE_ST39102
+        assert len(config.drive_overrides) == 1
+
+    def test_machine_builds_heterogeneous_farm(self):
+        slow = fast_variant(SEAGATE_ST39102, 0.5)
+        config = ActiveDiskConfig(num_disks=4).with_degraded_drive(0, slow)
+        sim = Simulator()
+        machine = build_machine(sim, config)
+        assert machine.nodes[0].drive.spec is slow
+        assert machine.nodes[1].drive.spec is SEAGATE_ST39102
+
+    def test_one_slow_disk_drags_the_farm(self):
+        slow = fast_variant(SEAGATE_ST39102, 0.25)
+        def run(config):
+            sim = Simulator()
+            machine = build_machine(sim, config)
+            return machine.run(
+                build_program("sort", config, 1 / 128)).elapsed
+        healthy = run(ActiveDiskConfig(num_disks=8))
+        degraded = run(
+            ActiveDiskConfig(num_disks=8).with_degraded_drive(0, slow))
+        assert degraded > 1.3 * healthy

@@ -1,0 +1,74 @@
+"""Tests for the reproduction scorecard and degraded-hardware behaviour."""
+
+import pytest
+
+from repro.arch import ActiveDiskConfig, build_machine
+from repro.disk import DiskDrive, SEAGATE_ST39102, fast_variant
+from repro.experiments import paper_claims, run_scorecard
+from repro.experiments.scorecard import Claim, ClaimResult
+from repro.sim import Simulator
+from repro.workloads import build_program
+
+
+class TestScorecardMechanics:
+    def test_claim_result_verdict(self):
+        claim = Claim("ref", "s", 1.0, 2.0, lambda s: 1.5)
+        assert ClaimResult(claim, 1.5).passed
+        assert not ClaimResult(claim, 2.5).passed
+        assert not ClaimResult(claim, 0.5).passed
+
+    def test_claims_have_unique_statements(self):
+        statements = [c.statement for c in paper_claims()]
+        assert len(statements) == len(set(statements))
+
+    def test_custom_claims_evaluated(self):
+        claims = [Claim("x", "always passes", 0.0, 10.0, lambda s: 5.0),
+                  Claim("y", "always fails", 0.0, 1.0, lambda s: 5.0)]
+        results, table = run_scorecard(scale=1.0, claims=claims)
+        assert [r.passed for r in results] == [True, False]
+        assert "1/2 claims pass" in table
+        assert "FAIL" in table and "PASS" in table
+
+
+@pytest.mark.slow
+class TestScorecardFull:
+    def test_all_paper_claims_pass(self):
+        """The headline acceptance check, as the CLI runs it."""
+        results, table = run_scorecard(scale=1 / 64)
+        failures = [r.claim.statement for r in results if not r.passed]
+        assert not failures, f"failed claims: {failures}\n{table}"
+
+
+class TestStragglers:
+    """Degraded-hardware injection: one slow spindle in the farm."""
+
+    def degrade(self, machine, node_index, factor):
+        slow_spec = fast_variant(SEAGATE_ST39102, factor)
+        node = machine.nodes[node_index]
+        node.drive = DiskDrive(machine.sim, slow_spec,
+                               name=f"slow{node_index}")
+
+    def run_sort(self, degrade_factor=None):
+        config = ActiveDiskConfig(num_disks=8)
+        sim = Simulator()
+        machine = build_machine(sim, config)
+        if degrade_factor is not None:
+            self.degrade(machine, 0, degrade_factor)
+        program = build_program("sort", config, 1 / 128)
+        return machine.run(program)
+
+    def test_one_slow_disk_stretches_the_phase(self):
+        healthy = self.run_sort()
+        degraded = self.run_sort(degrade_factor=0.25)  # 4x slower disk
+        assert degraded.elapsed > 1.3 * healthy.elapsed
+
+    def test_straggler_shows_up_as_idle_elsewhere(self):
+        healthy = self.run_sort()
+        degraded = self.run_sort(degrade_factor=0.25)
+        # The other seven disks wait at the barrier for the slow one.
+        assert degraded.phases[0].idle > healthy.phases[0].idle
+
+    def test_mild_degradation_mild_impact(self):
+        healthy = self.run_sort()
+        mild = self.run_sort(degrade_factor=0.8)
+        assert mild.elapsed < 1.3 * healthy.elapsed

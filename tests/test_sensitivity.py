@@ -1,0 +1,69 @@
+"""Tests for the parameter-sensitivity framework."""
+
+import pytest
+
+from repro.arch import ActiveDiskConfig, SMPConfig
+from repro.experiments.sensitivity import SensitivityResult, sweep_parameter
+
+MB = 1_000_000
+TINY = 1 / 128
+
+
+class TestSweep:
+    def test_validation(self):
+        config = ActiveDiskConfig(num_disks=8)
+        with pytest.raises(ValueError):
+            sweep_parameter(config, "select", "disk_cpu_mhz", [])
+        with pytest.raises(AttributeError):
+            sweep_parameter(config, "select", "warp_factor", [1])
+
+    def test_cpu_sweep_speeds_up_compute_bound_task(self):
+        config = ActiveDiskConfig(num_disks=8)
+        result = sweep_parameter(config, "select", "disk_cpu_mhz",
+                                 [200.0, 400.0, 800.0], scale=TINY)
+        speedups = [s for _, s in result.speedups()]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[1] > 1.4
+        assert speedups[2] > speedups[1]
+
+    def test_interconnect_sweep_flat_for_scan(self):
+        config = ActiveDiskConfig(num_disks=8)
+        result = sweep_parameter(config, "select", "interconnect_rate",
+                                 [200 * MB, 400 * MB], scale=TINY)
+        assert result.speedups()[1][1] == pytest.approx(1.0, abs=0.03)
+
+    def test_smp_interconnect_sweep_matters(self):
+        config = SMPConfig(num_disks=16)
+        result = sweep_parameter(config, "select",
+                                 "io_interconnect_rate",
+                                 [200 * MB, 400 * MB], scale=TINY)
+        assert result.speedups()[1][1] > 1.2
+
+    def test_elasticity_compute_bound(self):
+        config = ActiveDiskConfig(num_disks=8)
+        # 200 -> 400 MHz keeps select CPU-bound; beyond that the media
+        # takes over and elasticity naturally collapses.
+        result = sweep_parameter(config, "select", "disk_cpu_mhz",
+                                 [200.0, 400.0], scale=TINY)
+        assert result.elasticity() > 0.5
+
+    def test_elasticity_insensitive_parameter(self):
+        config = ActiveDiskConfig(num_disks=8)
+        result = sweep_parameter(config, "select",
+                                 "disk_memory_bytes",
+                                 [32 * MB, 128 * MB], scale=TINY)
+        assert abs(result.elasticity()) < 0.1
+
+    def test_render(self):
+        config = ActiveDiskConfig(num_disks=4)
+        result = sweep_parameter(config, "aggregate", "disk_cpu_mhz",
+                                 [200.0, 400.0], scale=TINY)
+        text = result.render()
+        assert "Sensitivity" in text and "speedup" in text
+
+    def test_elasticity_requires_numeric_values(self):
+        result = SensitivityResult(
+            task="t", arch="active", parameter="kind",
+            points=(("a", 1.0), ("b", 2.0)))
+        with pytest.raises(TypeError):
+            result.elasticity()

@@ -1,0 +1,251 @@
+"""Unit tests for Server, Store, Mutex and ProcessPool."""
+
+import pytest
+
+from repro.sim import Mutex, ProcessPool, Server, SimulationError, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestServer:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Server(sim, capacity=0)
+
+    def test_serial_service(self, sim):
+        server = Server(sim, capacity=1)
+        done = []
+        def job(i):
+            yield from server.serve(1.0)
+            done.append((sim.now, i))
+        for i in range(3):
+            sim.process(job(i))
+        sim.run()
+        assert done == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+    def test_parallel_capacity(self, sim):
+        server = Server(sim, capacity=2)
+        done = []
+        def job(i):
+            yield from server.serve(1.0)
+            done.append((sim.now, i))
+        for i in range(4):
+            sim.process(job(i))
+        sim.run()
+        assert done == [(1.0, 0), (1.0, 1), (2.0, 2), (2.0, 3)]
+
+    def test_fifo_admission(self, sim):
+        server = Server(sim, capacity=1)
+        order = []
+        def job(i, arrival):
+            yield sim.timeout(arrival)
+            yield from server.serve(10.0)
+            order.append(i)
+        for i in range(4):
+            sim.process(job(i, 0.1 * i))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_release_without_request_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Server(sim).release()
+
+    def test_utilization_full(self, sim):
+        server = Server(sim, capacity=1)
+        def job():
+            yield from server.serve(5.0)
+        sim.process(job())
+        sim.run()
+        assert server.utilization() == pytest.approx(1.0)
+
+    def test_utilization_half(self, sim):
+        server = Server(sim, capacity=1)
+        def job():
+            yield sim.timeout(5.0)
+            yield from server.serve(5.0)
+        sim.process(job())
+        sim.run()
+        assert server.utilization() == pytest.approx(0.5)
+
+    def test_busy_time_with_open_interval(self, sim):
+        server = Server(sim, capacity=1)
+        def job():
+            yield server.request()
+            yield sim.timeout(3.0)
+            # hold without releasing
+        sim.process(job())
+        sim.run()
+        assert server.busy_time() == pytest.approx(3.0)
+
+    def test_queue_length(self, sim):
+        server = Server(sim, capacity=1)
+        lengths = []
+        def holder():
+            yield server.request()
+            yield sim.timeout(2.0)
+            lengths.append(server.queue_length)
+            server.release()
+        def waiter():
+            yield server.request()
+            server.release()
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run()
+        assert lengths == [1]
+
+    def test_slot_transfers_to_waiter_without_gap(self, sim):
+        server = Server(sim, capacity=1)
+        times = []
+        def a():
+            yield from server.serve(1.0)
+        def b():
+            yield server.request()
+            times.append(sim.now)
+            server.release()
+        sim.process(a())
+        sim.process(b())
+        sim.run()
+        assert times == [1.0]
+
+    def test_total_requests_counted(self, sim):
+        server = Server(sim, capacity=2)
+        def job():
+            yield from server.serve(0.5)
+        for _ in range(5):
+            sim.process(job())
+        sim.run()
+        assert server.total_requests == 5
+
+
+class TestStore:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        got = []
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+        def consumer():
+            for _ in range(5):
+                got.append((yield store.get()))
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+        def consumer():
+            got.append(((yield store.get()), sim.now))
+        def producer():
+            yield sim.timeout(3.0)
+            yield store.put("x")
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [("x", 3.0)]
+
+    def test_put_blocks_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        times = []
+        def producer():
+            yield store.put(1)
+            begin = sim.now
+            yield store.put(2)
+            times.append((begin, sim.now))
+        def consumer():
+            yield sim.timeout(4.0)
+            yield store.get()
+            yield store.get()
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert times == [(0.0, 4.0)]
+
+    def test_try_put_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        store.put("a")
+        assert not store.try_put("b")
+        assert store.try_put is not None and len(store) == 1
+
+    def test_try_get_empty(self, sim):
+        ok, item = Store(sim).try_get()
+        assert not ok and item is None
+
+    def test_try_get_nonempty(self, sim):
+        store = Store(sim)
+        store.put("a")
+        ok, item = store.try_get()
+        assert ok and item == "a"
+
+    def test_handoff_to_waiting_consumer(self, sim):
+        store = Store(sim, capacity=1)
+        got = []
+        def consumer():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+        def producer():
+            yield sim.timeout(1.0)
+            yield store.put("a")
+            yield store.put("b")
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_counters(self, sim):
+        store = Store(sim)
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+        def consumer():
+            for _ in range(3):
+                yield store.get()
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert store.total_put == 3 and store.total_got == 3
+
+    def test_blocked_putters_admitted_in_order(self, sim):
+        store = Store(sim, capacity=1)
+        got = []
+        def producer(v):
+            yield store.put(v)
+        def consumer():
+            yield sim.timeout(1.0)
+            for _ in range(3):
+                got.append((yield store.get()))
+        for v in "abc":
+            sim.process(producer(v))
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+
+class TestMutexAndPool:
+    def test_mutex_is_single_slot(self, sim):
+        mutex = Mutex(sim)
+        assert mutex.capacity == 1
+
+    def test_pool_all_done(self, sim):
+        pool = ProcessPool(sim)
+        finished = []
+        def worker(delay):
+            yield sim.timeout(delay)
+            finished.append(sim.now)
+        for delay in (1.0, 3.0, 2.0):
+            pool.spawn(worker(delay))
+        waited = []
+        def waiter():
+            yield pool.all_done()
+            waited.append(sim.now)
+        sim.process(waiter())
+        sim.run()
+        assert waited == [3.0] and len(finished) == 3

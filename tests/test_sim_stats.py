@@ -1,0 +1,103 @@
+"""Unit tests for measurement helpers."""
+
+import pytest
+
+from repro.sim import BusyTracker, Counter, Simulator, StatSet, Tally, TimeWeighted
+
+
+class TestCounter:
+    def test_add_default(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+
+class TestTally:
+    def test_empty_mean_is_zero(self):
+        assert Tally().mean == 0.0
+
+    def test_statistics(self):
+        tally = Tally()
+        for v in (1.0, 2.0, 6.0):
+            tally.observe(v)
+        assert tally.count == 3
+        assert tally.mean == pytest.approx(3.0)
+        assert tally.min == 1.0 and tally.max == 6.0
+
+
+class TestTimeWeighted:
+    def test_average_over_piecewise_constant(self):
+        sim = Simulator()
+        tracker = TimeWeighted(sim, initial=0.0)
+        def proc():
+            yield sim.timeout(2.0)
+            tracker.set(10.0)
+            yield sim.timeout(2.0)
+            tracker.set(0.0)
+            yield sim.timeout(6.0)
+        sim.process(proc())
+        sim.run()
+        # 0 for 2s, 10 for 2s, 0 for 6s -> 20/10
+        assert tracker.average() == pytest.approx(2.0)
+
+    def test_add_delta(self):
+        sim = Simulator()
+        tracker = TimeWeighted(sim, initial=1.0)
+        tracker.add(2.0)
+        assert tracker.value == 3.0
+
+    def test_average_at_time_zero(self):
+        sim = Simulator()
+        tracker = TimeWeighted(sim, initial=5.0)
+        assert tracker.average() == 5.0
+
+
+class TestBusyTracker:
+    def test_charge_and_total(self):
+        tracker = BusyTracker("cpu")
+        tracker.charge("compute", 3.0)
+        tracker.charge("io", 1.0)
+        tracker.charge("compute", 2.0)
+        assert tracker.total() == pytest.approx(6.0)
+        assert tracker.buckets["compute"] == pytest.approx(5.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            BusyTracker().charge("x", -1.0)
+
+    def test_fractions_sum_to_one(self):
+        tracker = BusyTracker()
+        tracker.charge("a", 1.0)
+        tracker.charge("b", 3.0)
+        fractions = tracker.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["b"] == pytest.approx(0.75)
+
+    def test_fractions_empty(self):
+        assert BusyTracker().fractions() == {}
+
+    def test_merged(self):
+        a = BusyTracker("a")
+        a.charge("x", 1.0)
+        b = BusyTracker("b")
+        b.charge("x", 2.0)
+        b.charge("y", 1.0)
+        merged = a.merged(b)
+        assert merged.buckets == {"x": 3.0, "y": 1.0}
+
+
+class TestStatSet:
+    def test_lazily_creates_instruments(self):
+        stats = StatSet()
+        stats.counter("bytes").add(10)
+        stats.tally("latency").observe(0.5)
+        stats.tracker("cpu").charge("busy", 1.0)
+        rows = dict(stats.as_rows())
+        assert rows["bytes"] == 10
+        assert rows["latency.mean"] == pytest.approx(0.5)
+        assert rows["cpu.busy"] == pytest.approx(1.0)
+
+    def test_same_name_returns_same_instrument(self):
+        stats = StatSet()
+        assert stats.counter("x") is stats.counter("x")

@@ -1,0 +1,60 @@
+"""Tests for the simulation trace log."""
+
+import pytest
+
+from repro.sim import Simulator, TraceLog
+
+
+def run_traced(capacity=100):
+    log = TraceLog(capacity=capacity)
+    sim = Simulator(trace=log)
+
+    def worker(name, count):
+        for _ in range(count):
+            yield sim.timeout(1.0)
+
+    sim.process(worker("a", 5), name="worker-a")
+    sim.process(worker("b", 3), name="worker-b")
+    sim.run()
+    return log, sim
+
+
+class TestTraceLog:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_records_every_event(self):
+        log, sim = run_traced()
+        assert log.total == sim.event_count
+
+    def test_counts_by_kind(self):
+        log, _ = run_traced()
+        assert log.counts["Timeout"] == 8
+
+    def test_ring_buffer_bounded(self):
+        log, _ = run_traced(capacity=5)
+        assert len(log.entries) == 5
+        assert log.total > 5
+
+    def test_window(self):
+        log, _ = run_traced()
+        early = log.window(0.0, 2.5)
+        assert early
+        assert all(0.0 <= e.time < 2.5 for e in early)
+        with pytest.raises(ValueError):
+            log.window(3.0, 1.0)
+
+    def test_completed_processes(self):
+        log, _ = run_traced()
+        completions = log.completed_processes()
+        names = [name for _, name in completions]
+        assert set(names) == {"worker-a", "worker-b"}
+        times = dict((name, time) for time, name in completions)
+        assert times["worker-b"] == pytest.approx(3.0)
+        assert times["worker-a"] == pytest.approx(5.0)
+
+    def test_summary_renders(self):
+        log, _ = run_traced()
+        text = log.summary()
+        assert "events traced" in text and "Timeout" in text

@@ -1,0 +1,113 @@
+"""Tests for key-skew support: weights, destination cycles, variants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ActiveDiskConfig, build_machine
+from repro.arch.base import destination_cycle
+from repro.sim import Simulator
+from repro.workloads import build_program
+from repro.workloads.skew import imbalance_factor, skewed_variant, zipf_weights
+
+
+class TestZipfWeights:
+    def test_uniform_at_zero(self):
+        weights = zipf_weights(8, 0.0)
+        assert all(w == pytest.approx(1 / 8) for w in weights)
+
+    def test_normalized(self):
+        assert sum(zipf_weights(17, 0.9)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(4, -0.1)
+
+    def test_imbalance_factor(self):
+        assert imbalance_factor(16, 0.0) == pytest.approx(1.0)
+        assert imbalance_factor(16, 1.0) > 3.0
+
+
+class TestDestinationCycle:
+    def test_uniform_is_a_rotation(self):
+        cycle = destination_cycle(4, 0.0, start=1)
+        assert sorted(cycle) == [0, 1, 2, 3]
+        assert cycle[0] == 2
+
+    def test_single_worker(self):
+        assert destination_cycle(1, 0.7, start=0) == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            destination_cycle(0, 0.0, start=0)
+
+    @given(st.integers(min_value=2, max_value=64),
+           st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+           st.integers(min_value=0, max_value=63))
+    @settings(max_examples=100)
+    def test_cycle_covers_plausible_length(self, workers, skew, start):
+        cycle = destination_cycle(workers, skew, start=start % workers)
+        assert cycle
+        assert all(0 <= d < workers for d in cycle)
+
+    @given(st.integers(min_value=2, max_value=32),
+           st.floats(min_value=0.1, max_value=1.2, allow_nan=False))
+    @settings(max_examples=100)
+    def test_skewed_cycle_matches_zipf_frequencies(self, workers, skew):
+        cycle = destination_cycle(workers, skew, start=0)
+        weights = zipf_weights(workers, skew)
+        for worker in range(workers):
+            expected = weights[worker] * len(cycle)
+            assert abs(cycle.count(worker) - expected) <= 1.0
+
+    def test_hot_worker_interleaved_not_bursty(self):
+        cycle = destination_cycle(8, 1.0, start=0)
+        # Worker 0 appears most often but never more than twice in a row.
+        longest_run = max(
+            sum(1 for _ in group)
+            for _, group in __import__("itertools").groupby(cycle))
+        assert longest_run <= 2
+
+
+class TestSkewedVariant:
+    def test_only_shuffle_phases_touched(self):
+        program = build_program("sort", ActiveDiskConfig(num_disks=8),
+                                scale=1 / 256)
+        skewed = skewed_variant(program, 0.8)
+        assert skewed.phases[0].shuffle_skew == pytest.approx(0.8)
+        assert skewed.phases[1].shuffle_skew == 0.0  # merge: no shuffle
+        assert skewed.task.startswith("sort+skew")
+
+    def test_negative_theta_rejected(self):
+        program = build_program("select", ActiveDiskConfig(num_disks=8),
+                                scale=1 / 256)
+        with pytest.raises(ValueError):
+            skewed_variant(program, -0.5)
+
+    def test_skew_concentrates_received_bytes(self):
+        config = ActiveDiskConfig(num_disks=8)
+        program = skewed_variant(
+            build_program("sort", config, scale=1 / 64), 1.0)
+        sim = Simulator()
+        machine = build_machine(sim, config)
+        machine.run(program)
+        writes = [node.drive.bytes_written for node in machine.nodes]
+        # Worker 0 owns the hot partition: clearly more run data lands
+        # on its drive than on the coldest worker's.
+        assert writes[0] > 1.5 * min(writes)
+
+    def test_skew_never_speeds_things_up(self):
+        config = ActiveDiskConfig(num_disks=8)
+        base = build_program("sort", config, scale=1 / 64)
+        sim = Simulator()
+        t_base = build_machine(sim, config).run(base).elapsed
+        sim2 = Simulator()
+        t_skew = build_machine(sim2, config).run(
+            skewed_variant(base, 1.0)).elapsed
+        assert t_skew >= t_base * 0.98

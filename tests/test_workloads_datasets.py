@@ -1,0 +1,73 @@
+"""Tests for the Table 2 dataset descriptors."""
+
+import pytest
+
+from repro.workloads import TABLE2, TASKS, dataset_for
+
+GB = 1_000_000_000
+
+
+class TestTable2:
+    def test_eight_tasks(self):
+        assert len(TABLE2) == 8
+        assert set(TASKS) == {"select", "aggregate", "groupby", "dcube",
+                              "sort", "join", "dmine", "mview"}
+
+    def test_published_sizes(self):
+        assert TABLE2["select"].total_bytes == 16 * GB
+        assert TABLE2["join"].total_bytes == 32 * GB
+        assert TABLE2["mview"].total_bytes == 15 * GB
+
+    def test_select_tuple_count_matches_paper(self):
+        # 268 million 64-byte tuples.
+        assert TABLE2["select"].tuple_count == pytest.approx(268e6, rel=0.07)
+
+    def test_dcube_tuple_count_matches_paper(self):
+        # 536 million 32-byte tuples.
+        assert TABLE2["dcube"].tuple_count == pytest.approx(536e6, rel=0.07)
+
+    def test_groupby_distinct(self):
+        assert TABLE2["groupby"].params["distinct"] == 13_500_000
+
+    def test_dmine_parameters(self):
+        params = TABLE2["dmine"].params
+        assert params["transactions"] == 300e6
+        assert params["items"] == 1e6
+        assert params["minsup"] == 0.001
+
+    def test_mview_component_volumes(self):
+        params = TABLE2["mview"].params
+        assert params["derived_bytes"] == 4 * GB
+        assert params["delta_bytes"] == 1 * GB
+
+
+class TestScaling:
+    def test_identity_scale(self):
+        assert dataset_for("select", 1.0) is TABLE2["select"]
+
+    def test_bytes_scale(self):
+        scaled = dataset_for("select", 0.25)
+        assert scaled.total_bytes == 4 * GB
+        assert scaled.tuple_bytes == 64  # shape is preserved
+
+    def test_volume_params_scale_but_densities_do_not(self):
+        scaled = dataset_for("mview", 0.5)
+        assert scaled.params["derived_bytes"] == 2 * GB
+        assert scaled.params["delta_bytes"] == 0.5 * GB
+        scaled_sel = dataset_for("select", 0.5)
+        assert scaled_sel.params["selectivity"] == 0.01
+
+    def test_scale_is_cumulative(self):
+        scaled = dataset_for("sort", 0.5).scaled(0.5)
+        assert scaled.total_bytes == 4 * GB
+        assert scaled.scale == pytest.approx(0.25)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_for("select", 0.0)
+        with pytest.raises(ValueError):
+            dataset_for("select", 2.0)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            dataset_for("vacuum")

@@ -1,0 +1,191 @@
+"""Tests for the eight task builders: program shapes per architecture."""
+
+import pytest
+
+from repro.arch import ActiveDiskConfig, ClusterConfig, SMPConfig
+from repro.workloads import build_program, registered_tasks
+from repro.workloads.tasks import TaskContext, task_builder
+from repro.workloads.tasks.sort import run_count
+from repro.workloads import dataset_for
+
+GB = 1_000_000_000
+MB = 1_000_000
+
+ACTIVE = ActiveDiskConfig(num_disks=16)
+CLUSTER = ClusterConfig(num_disks=16)
+SMP = SMPConfig(num_disks=16)
+ALL = [ACTIVE, CLUSTER, SMP]
+IDS = ["active", "cluster", "smp"]
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        assert len(registered_tasks()) == 8
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            task_builder("transmogrify")
+
+
+@pytest.mark.parametrize("config", ALL, ids=IDS)
+@pytest.mark.parametrize("task", sorted(
+    {"select", "aggregate", "groupby", "sort", "join", "dmine", "dcube",
+     "mview"}))
+class TestAllPrograms:
+    def test_program_builds(self, config, task):
+        program = build_program(task, config, scale=1.0)
+        assert program.task == task
+        assert program.phases
+
+    def test_read_volume_at_least_dataset(self, config, task):
+        program = build_program(task, config, scale=1.0)
+        dataset = dataset_for(task)
+        # Multi-pass tasks read the dataset several times; nothing reads
+        # less than once (mview phases partition the dataset).
+        assert program.total_read_bytes() >= dataset.total_bytes * 0.9
+
+
+class TestSelect:
+    def test_one_percent_to_frontend(self):
+        program = build_program("select", ACTIVE)
+        phase = program.phases[0]
+        assert phase.frontend_fraction == pytest.approx(0.01)
+        assert phase.shuffle_fraction == 0.0
+        assert phase.read_bytes_total == 16 * GB
+
+
+class TestAggregate:
+    def test_fixed_tiny_result(self):
+        program = build_program("aggregate", ACTIVE)
+        phase = program.phases[0]
+        assert phase.frontend_fraction == 0.0
+        assert phase.frontend_fixed_per_worker == 64
+
+
+class TestGroupby:
+    def test_result_volume_is_group_table(self):
+        program = build_program("groupby", ACTIVE)
+        phase = program.phases[0]
+        expected = 13_500_000 * 32 / (16 * GB)
+        assert phase.frontend_fraction == pytest.approx(expected)
+
+
+class TestSort:
+    def test_two_phases_full_repartition(self):
+        program = build_program("sort", ACTIVE)
+        sort_phase, merge_phase = program.phases
+        assert sort_phase.shuffle_fraction == 1.0
+        assert sort_phase.recv_write_fraction == 1.0
+        assert merge_phase.write_fraction == 1.0
+        assert merge_phase.read_streams >= 1
+
+    def test_paper_run_count_16_disks(self):
+        """1 GB per disk / ~25 MB runs = the paper's 40 runs."""
+        context = TaskContext(config=ACTIVE,
+                              dataset=dataset_for("sort"), scale=1.0)
+        assert run_count(context) == pytest.approx(40, abs=2)
+
+    def test_more_memory_fewer_runs(self):
+        big = ActiveDiskConfig(num_disks=16, disk_memory_bytes=64 * MB)
+        small_ctx = TaskContext(ACTIVE, dataset_for("sort"), 1.0)
+        big_ctx = TaskContext(big, dataset_for("sort"), 1.0)
+        assert run_count(big_ctx) == pytest.approx(
+            run_count(small_ctx) / 2, abs=1)
+
+    def test_scaling_preserves_run_count(self):
+        full = TaskContext(ACTIVE, dataset_for("sort", 1.0), 1.0)
+        scaled = TaskContext(ACTIVE, dataset_for("sort", 1 / 16),
+                             1 / 16)
+        assert run_count(full) == run_count(scaled)
+
+    def test_smp_splits_disk_groups(self):
+        program = build_program("sort", SMP)
+        assert all(p.split_disk_groups for p in program.phases)
+        assert not any(p.split_disk_groups
+                       for p in build_program("sort", ACTIVE).phases)
+
+
+class TestJoin:
+    def test_grace_structure(self):
+        program = build_program("join", ACTIVE)
+        partition, probe = program.phases
+        assert partition.read_bytes_total == 32 * GB
+        assert partition.shuffle_fraction == pytest.approx(0.5)
+        assert partition.recv_write_fraction == pytest.approx(1.0)
+        assert probe.read_bytes_total == 16 * GB
+        # 8 GB of output from 16 GB probed.
+        assert probe.write_fraction == pytest.approx(0.5)
+
+
+class TestDmine:
+    def test_three_passes(self):
+        program = build_program("dmine", ACTIVE)
+        assert len(program.phases) == 3
+
+    def test_active_disks_merge_counters_at_frontend(self):
+        program = build_program("dmine", ACTIVE)
+        for phase in program.phases:
+            assert phase.frontend_fixed_per_worker > 0
+            assert phase.shuffle_fixed_per_worker == 0
+
+    def test_cluster_reduces_among_nodes(self):
+        program = build_program("dmine", CLUSTER)
+        for phase in program.phases:
+            assert phase.shuffle_fixed_per_worker > 0
+            assert phase.frontend_fixed_per_worker == 0
+
+
+class TestDcube:
+    def test_pass_counts_follow_memory(self):
+        """64 disks: 32 MB -> 3 passes, 64 MB -> 2 (the Fig. 4 spike)."""
+        at_32 = build_program("dcube", ActiveDiskConfig(num_disks=64))
+        at_64 = build_program("dcube", ActiveDiskConfig(
+            num_disks=64, disk_memory_bytes=64 * MB))
+        assert len(at_32.phases) == 3
+        assert len(at_64.phases) == 2
+
+    def test_16_disk_spill_to_frontend(self):
+        program = build_program("dcube", ActiveDiskConfig(num_disks=16))
+        assert program.phases[0].frontend_fraction > 0
+        bigger = build_program("dcube", ActiveDiskConfig(
+            num_disks=16, disk_memory_bytes=64 * MB))
+        assert bigger.phases[0].frontend_fraction == 0
+
+    def test_cluster_repartitions_first_pass(self):
+        program = build_program("dcube", CLUSTER)
+        assert program.phases[0].shuffle_fraction == pytest.approx(1.0)
+
+    def test_scaling_preserves_pass_count(self):
+        full = build_program("dcube", ActiveDiskConfig(num_disks=64), 1.0)
+        scaled = build_program("dcube", ActiveDiskConfig(num_disks=64),
+                               1 / 16)
+        assert len(full.phases) == len(scaled.phases)
+
+
+class TestMview:
+    def test_two_phases(self):
+        program = build_program("mview", ACTIVE)
+        propagate, refresh = program.phases
+        assert propagate.shuffle_fraction > 0.3
+        assert refresh.write_fraction > 0.4
+
+    def test_volumes_match_dataset_components(self):
+        program = build_program("mview", ACTIVE)
+        propagate, refresh = program.phases
+        assert propagate.read_bytes_total == 11 * GB  # base + deltas
+        assert refresh.read_bytes_total >= 4 * GB     # derived + updates
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("task", sorted(registered_tasks()))
+    def test_fractions_stable_under_scaling(self, task):
+        full = build_program(task, ACTIVE, 1.0)
+        scaled = build_program(task, ACTIVE, 1 / 8)
+        assert len(full.phases) == len(scaled.phases)
+        for a, b in zip(full.phases, scaled.phases):
+            assert a.shuffle_fraction == pytest.approx(
+                b.shuffle_fraction, abs=1e-9)
+            assert a.frontend_fraction == pytest.approx(
+                b.frontend_fraction, rel=1e-6, abs=1e-9)
+            assert b.read_bytes_total == pytest.approx(
+                a.read_bytes_total / 8, rel=0.01)
