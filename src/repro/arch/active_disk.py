@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator
 
 from ..disk import DiskDrive
-from ..diskos import DiskMemory
+from ..diskos import DiskMemory, StreamBufferProbe
 from ..host import Cpu, scaled_os_params
 from ..interconnect import FibreSwitch, SerialBus, dual_fc_al
 from ..sim import Event, Server, Simulator
@@ -68,6 +68,9 @@ class ActiveDiskNode:
         layout = self.memory.layout()
         self.comm_credits = Server(
             sim, capacity=layout.comm_buffers, name=f"adcredit{index}")
+        self.comm_probe = StreamBufferProbe(
+            sim.telemetry, f"disk.{index}.comm.buffers",
+            layout.comm_buffers)
         self.read_cursors: Dict = {}
         half = self.drive.geometry.total_sectors // 2
         self.write_cursor = half
@@ -172,6 +175,20 @@ class ActiveDiskMachine(Machine):
         self.frontend = FrontEnd(sim, config)
         layout = self.nodes[0].memory.layout()
         self.scratch_bytes = layout.scratch
+        tel = sim.telemetry
+        if tel.enabled:
+            tel.add_probe("interconnect.utilization",
+                          self.fabric.utilization)
+            tel.add_probe("frontend.cpu.utilization",
+                          self.frontend.cpu.utilization)
+            tel.add_probe(
+                "disk.cpu.utilization.mean",
+                lambda: sum(n.cpu.utilization() for n in self.nodes)
+                / len(self.nodes))
+            tel.add_probe(
+                "disk.queue.depth.mean",
+                lambda: sum(len(n.drive.queue) for n in self.nodes)
+                / len(self.nodes))
 
     # -- hooks -----------------------------------------------------------------
     @property
@@ -245,19 +262,23 @@ class ActiveDiskMachine(Machine):
     def _deliver_direct(self, phase: Phase, src: int, dst: int, nbytes: int,
                         latch: WorkLatch):
         try:
-            credit = self.nodes[dst].comm_credits
-            yield credit.request()
+            node = self.nodes[dst]
+            yield node.comm_credits.request()
+            node.comm_probe.acquire()
             try:
                 yield from self.fabric.transfer(src, dst, nbytes)
                 yield from self.recv_work(phase, dst, nbytes)
             finally:
-                credit.release()
+                node.comm_probe.release()
+                node.comm_credits.release()
         finally:
             latch.done()
 
     def _deliver_via_frontend(self, phase: Phase, src: int, dst: int,
                               nbytes: int, latch: WorkLatch):
         fe = self.frontend
+        tel = self.sim.telemetry
+        began = self.sim.now
         try:
             leg_ns = FRONTEND_COPY_NS + RELAY_HANDLING_NS
             # Leg 1: source disk -> front-end memory.
@@ -268,8 +289,9 @@ class ActiveDiskMachine(Machine):
                 leg_ns * 1e-9 * nbytes, bucket=f"{phase.name}:relay")
             fe.bytes_relayed += nbytes
             # Leg 2: front-end -> destination disk (gated by its buffers).
-            credit = self.nodes[dst].comm_credits
-            yield credit.request()
+            node = self.nodes[dst]
+            yield node.comm_credits.request()
+            node.comm_probe.acquire()
             try:
                 yield from fe.cpu.compute(
                     leg_ns * 1e-9 * nbytes, bucket=f"{phase.name}:relay")
@@ -278,7 +300,12 @@ class ActiveDiskMachine(Machine):
                                                 dst, nbytes)
                 yield from self.recv_work(phase, dst, nbytes)
             finally:
-                credit.release()
+                node.comm_probe.release()
+                node.comm_credits.release()
+            if tel.enabled:
+                tel.spans.complete(
+                    "host", f"relay {src}->{dst}", "host.frontend.relay",
+                    began, self.sim.now - began, args={"nbytes": nbytes})
         finally:
             latch.done()
 

@@ -253,16 +253,22 @@ class Machine(ABC):
     def run(self, program: TaskProgram) -> RunResult:
         """Execute ``program`` to completion and return the results."""
         self._phase_results = []
+        self._finished_at: Optional[float] = None
         driver = self.sim.process(self._run_program(program), name="driver")
         self.sim.run()
         if not driver.triggered or not driver.ok:
             raise RuntimeError(
                 f"{self.arch}/{program.task}: program did not complete")
+        # Prefer the program's own completion time: a telemetry sampler
+        # (or any other periodic observer) may tick once more after the
+        # last real event, advancing sim.now past the interesting part.
+        elapsed = (self._finished_at if self._finished_at is not None
+                   else self.sim.now)
         return RunResult(
             task=program.task,
             arch=self.arch,
             num_disks=self.config.num_disks,
-            elapsed=self.sim.now,
+            elapsed=elapsed,
             phases=self._phase_results,
             extras=self.collect_extras(),
         )
@@ -327,6 +333,8 @@ class Machine(ABC):
     def _run_program(self, program: TaskProgram,
                      sink: Optional[List[PhaseResult]] = None):
         results = self._phase_results if sink is None else sink
+        tel = self.sim.telemetry
+        track = f"machine.{self.arch}"
         for phase in program.phases:
             began = self.sim.now
             before = self._busy_snapshot()
@@ -338,6 +346,8 @@ class Machine(ABC):
             ]
             yield self.sim.all_of(workers)
             yield from latch.drained()
+            if tel.enabled:
+                tel.spans.instant("phase", f"{phase.name}: barrier", track)
             yield from self.phase_barrier()
             after = self._busy_snapshot()
             prefix = f"{phase.name}:"
@@ -351,6 +361,11 @@ class Machine(ABC):
                 workers=self.worker_count,
                 busy={k: v for k, v in busy.items() if v > 0},
             ))
+            if tel.enabled:
+                tel.spans.complete("phase", phase.name, track, began,
+                                   self.sim.now - began,
+                                   args={"workers": self.worker_count})
+        self._finished_at = self.sim.now
 
     def worker_share(self, phase: Phase, w: int) -> int:
         """Bytes worker ``w`` reads in ``phase`` (even split, w-indexed)."""

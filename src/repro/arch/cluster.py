@@ -92,6 +92,21 @@ class ClusterMachine(Machine):
         self.frontend_cpu = Cpu(sim, config.frontend_cpu_mhz, name="fe-cpu")
         self.frontend_host = config.num_nodes
         self.frontend_bytes = 0
+        tel = sim.telemetry
+        if tel.enabled:
+            tel.add_probe(
+                "node.cpu.utilization.mean",
+                lambda: sum(n.cpu.utilization() for n in self.nodes)
+                / len(self.nodes))
+            tel.add_probe("frontend.cpu.utilization",
+                          self.frontend_cpu.utilization)
+            tel.add_probe(
+                "net.frontend.link.utilization",
+                self.tree.port(self.frontend_host).rx.utilization)
+            tel.add_probe(
+                "disk.queue.depth.mean",
+                lambda: sum(len(n.drive.queue) for n in self.nodes)
+                / len(self.nodes))
 
     # -- hooks -----------------------------------------------------------------
     @property

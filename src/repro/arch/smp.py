@@ -117,6 +117,19 @@ class SMPMachine(Machine):
         # cursor), keyed by phase name so concurrent programs do not
         # clobber each other.
         self._phase_state: Dict[str, _PhaseState] = {}
+        tel = sim.telemetry
+        if tel.enabled:
+            tel.add_probe("interconnect.utilization", self.fc.utilization)
+            tel.add_probe("xio.utilization", self.xio.utilization)
+            tel.add_probe("numa.utilization", self.numa.utilization)
+            tel.add_probe(
+                "host.cpu.utilization.mean",
+                lambda: sum(c.utilization() for c in self.cpus)
+                / len(self.cpus))
+            tel.add_probe(
+                "disk.queue.depth.mean",
+                lambda: sum(len(d.queue) for d in self.drives)
+                / len(self.drives))
 
     # -- striping ---------------------------------------------------------------
     def board_of(self, cpu_index: int) -> int:

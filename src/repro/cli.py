@@ -56,6 +56,18 @@ def _parse_sizes(text: str) -> List[int]:
         raise argparse.ArgumentTypeError(f"bad size list: {text!r}")
 
 
+def _parse_interval(text: str) -> Optional[float]:
+    """Parse a sampling interval; 0 disables periodic sampling."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad interval: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"sample interval must be >= 0, got {text!r}")
+    return value or None
+
+
 def _parse_tasks(text: str) -> List[str]:
     tasks = [token for token in text.split(",") if token]
     unknown = set(tasks) - set(registered_tasks())
@@ -102,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fibreswitch", type=int, metavar="SEGMENTS",
                      default=None,
                      help="use a FibreSwitch fabric with this many loops")
+    run.add_argument("--trace-out", metavar="FILE", default=None,
+                     help="record telemetry and write a Chrome trace-event "
+                          "JSON file (open in Perfetto or chrome://tracing)")
+    run.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="record telemetry and write a flat metrics JSON "
+                          "file")
+    run.add_argument("--sample-interval", type=_parse_interval,
+                     metavar="SECONDS", default=0.25,
+                     help="simulated seconds between telemetry probe "
+                          "samples (default 0.25; 0 disables sampling)")
 
     for name, helptext, extras in (
             ("fig1", "architecture comparison (Figure 1)", "sizes tasks"),
@@ -150,7 +172,11 @@ def _command_run(args) -> str:
     if args.interconnect_mb:
         config = config.with_interconnect(args.interconnect_mb * MB)
     scale = _scale_value(args)
-    result = run_task(config, args.task, scale)
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from .telemetry import Telemetry
+        telemetry = Telemetry(sample_interval=args.sample_interval)
+    result = run_task(config, args.task, scale, telemetry=telemetry)
     lines = [
         f"{args.task} on {args.arch} / {args.disks} disks "
         f"(scale {scale:g})",
@@ -163,6 +189,17 @@ def _command_run(args) -> str:
     for key, value in sorted(result.extras.items()):
         lines.append(f"  {key}: {value:,.0f}"
                      if value >= 100 else f"  {key}: {value:.3f}")
+    if telemetry is not None:
+        from .telemetry import write_chrome_trace, write_metrics_json
+        events = len(telemetry.spans)
+        if args.trace_out:
+            write_chrome_trace(telemetry, args.trace_out)
+            lines.append(f"trace: {args.trace_out} ({events} events; "
+                         f"open in https://ui.perfetto.dev)")
+        if args.metrics_out:
+            write_metrics_json(telemetry, args.metrics_out)
+            lines.append(f"metrics: {args.metrics_out} "
+                         f"({len(telemetry.registry)} metrics)")
     return "\n".join(lines)
 
 

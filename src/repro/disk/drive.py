@@ -103,6 +103,12 @@ class DiskDrive:
         self.bytes_written = 0
         self._wakeup: Optional[Event] = None
         self._idle_since = sim.now
+        self._track = f"disk.{name}"
+        tel = sim.telemetry
+        if tel.enabled:
+            tel.registry.bind(f"disk.{name}.queue.depth",
+                              lambda: float(len(self.queue)))
+            tel.registry.bind(f"disk.{name}.utilization", self.utilization)
         self.process = sim.process(self._service_loop(), name=f"{name}-svc")
 
     # -- public API --------------------------------------------------------
@@ -156,25 +162,42 @@ class DiskDrive:
 
     def _media_work(self, op: str, lbn: int, nbytes: int):
         """Positioning + transfer for one extent, cache-aware."""
+        tel = self.sim.telemetry
         sectors = ceil(nbytes / self.spec.sector_bytes)
         outcome = self.cache.lookup(op, lbn, lbn + sectors)
         write = op == "write"
         if outcome.buffer_hit:
+            if tel.enabled:
+                tel.spans.instant("disk", "cache-hit", self._track,
+                                  args={"lbn": lbn, "nbytes": nbytes})
+                tel.registry.counter(f"{self._track}.cache.hits").add()
             return
         if not (outcome.streaming and self.head_lbn == lbn):
             delay, cylinder = self.mechanics.positioning_time(
                 self.sim.now, self.current_cylinder, lbn, write)
             seek = self.mechanics.seek_time(
                 self.current_cylinder, cylinder, write)
+            began = self.sim.now
             if delay > 0:
                 yield self.sim.timeout(delay)
             self.busy.charge("seek", seek)
             self.busy.charge("rotate", delay - seek)
+            if tel.enabled and delay > 0:
+                if seek > 0:
+                    tel.spans.complete("disk", "seek", self._track,
+                                       began, seek)
+                if delay - seek > 0:
+                    tel.spans.complete("disk", "rotate", self._track,
+                                       began + seek, delay - seek)
             self.current_cylinder = cylinder
         transfer = self.mechanics.transfer_time(lbn, nbytes)
+        began = self.sim.now
         if transfer > 0:
             yield self.sim.timeout(transfer)
         self.busy.charge("transfer", transfer)
+        if tel.enabled and transfer > 0:
+            tel.spans.complete("disk", op, self._track, began, transfer,
+                               args={"nbytes": nbytes})
         end = lbn + sectors
         self.current_cylinder, _, _ = self.geometry.lbn_to_chs(end - 1)
         self.head_lbn = end
@@ -208,5 +231,11 @@ class DiskDrive:
             self.bytes_written += request.nbytes
         else:
             self.bytes_read += request.nbytes
-        self.response_times.observe(self.sim.now - request.issued_at)
+        response = self.sim.now - request.issued_at
+        self.response_times.observe(response)
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.registry.histogram(f"{self._track}.response").observe(response)
+            tel.registry.counter(
+                f"{self._track}.bytes.{request.op}").add(request.nbytes)
         request.done.succeed(request)

@@ -9,10 +9,10 @@ from .runtime import (
     validate_disklet,
 )
 from .scheduler import DiskletScheduler
-from .streams import SinkKind, StreamSpec
+from .streams import SinkKind, StreamBufferProbe, StreamSpec
 
 __all__ = [
-    "Disklet", "StreamSpec", "SinkKind",
+    "Disklet", "StreamSpec", "SinkKind", "StreamBufferProbe",
     "DiskMemory", "MemoryLayout", "BASE_MEMORY", "BASE_COMM_BUFFERS",
     "DiskletStage", "validate_disklet", "phase_from_disklet",
     "program_from_disklets", "DiskletScheduler",

@@ -61,6 +61,9 @@ class DiskletScheduler:
         if reference_seconds < 0:
             raise ValueError(f"negative work: {reference_seconds}")
         self.register(name)
+        tel = self.sim.telemetry
+        began = self.sim.now
+        quanta = 0
         remaining = self.cpu.scaled(reference_seconds)
         while remaining > 0:
             slice_seconds = min(self.quantum, remaining)
@@ -71,7 +74,14 @@ class DiskletScheduler:
                 slice_seconds, bucket=f"disklet:{name}")
             self.resident[name] += slice_seconds
             self.dispatches += 1
+            quanta += 1
             remaining -= slice_seconds
+        if tel.enabled and quanta:
+            tel.spans.complete(
+                "diskos", f"disklet:{name}", f"diskos.{self.cpu.name}",
+                began, self.sim.now - began, args={"quanta": quanta})
+            tel.registry.counter(
+                f"diskos.{self.cpu.name}.dispatches").add(quanta)
 
     def usage(self, name: str) -> float:
         """CPU seconds a disklet has consumed so far."""

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
-__all__ = ["SinkKind", "StreamSpec"]
+__all__ = ["SinkKind", "StreamSpec", "StreamBufferProbe"]
 
 
 class SinkKind(Enum):
@@ -76,3 +76,43 @@ class StreamSpec:
         if not emitted_fixed and input_bytes >= input_total:
             owed += self.fixed_bytes
         return owed
+
+
+class StreamBufferProbe:
+    """Telemetry shim over one DiskOS stream/communication buffer pool.
+
+    DiskOS grants a fixed number of buffers per disk (see
+    :class:`~repro.diskos.memory.MemoryLayout`); the machines gate peer
+    transfers on them. Wrapping acquire/release in this probe publishes
+    the pool's occupancy as a time-weighted ``series`` metric (average =
+    mean buffers held, peak = high-water mark), which is how buffer
+    starvation shows up in a metrics report. Costs nothing when the
+    telemetry hub is the null one.
+    """
+
+    def __init__(self, telemetry, name: str, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"{name}: buffer pool capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.held = 0
+        self._series = (telemetry.registry.series(name)
+                        if telemetry.enabled else None)
+
+    def acquire(self) -> None:
+        """Note one buffer granted (call after the credit is held)."""
+        self.held += 1
+        if self._series is not None:
+            self._series.set(float(self.held))
+
+    def release(self) -> None:
+        """Note one buffer returned."""
+        if self.held <= 0:
+            raise RuntimeError(f"{self.name}: release without acquire")
+        self.held -= 1
+        if self._series is not None:
+            self._series.set(float(self.held))
+
+    def occupancy(self) -> float:
+        """Fraction of the pool currently held."""
+        return self.held / self.capacity

@@ -22,7 +22,8 @@ from ..arch import (
 from ..sim import Simulator
 from ..workloads import build_program, registered_tasks
 
-__all__ = ["ARCHITECTURES", "config_for", "run_task", "Sweep", "SweepCell"]
+__all__ = ["ARCHITECTURES", "config_for", "run_task",
+           "run_task_with_artifacts", "Sweep", "SweepCell"]
 
 ARCHITECTURES = ("active", "cluster", "smp")
 
@@ -45,12 +46,49 @@ def config_for(arch: str, num_disks: int, **overrides) -> ArchConfig:
 
 
 def run_task(config: ArchConfig, task: str,
-             scale: float = DEFAULT_SCALE) -> RunResult:
-    """Simulate ``task`` on a fresh machine built from ``config``."""
+             scale: float = DEFAULT_SCALE,
+             telemetry=None) -> RunResult:
+    """Simulate ``task`` on a fresh machine built from ``config``.
+
+    Pass a fresh :class:`~repro.telemetry.Telemetry` hub to record a
+    structured trace of the run: it is installed on the simulator
+    *before* the machine is built, so every component registers its
+    probes. The same hub also gets ``task``/``arch``/``scale`` metadata
+    for the exporters.
+    """
     sim = Simulator()
+    if telemetry is not None:
+        telemetry.install(sim)
+        telemetry.meta.update({
+            "task": task,
+            "arch": config.arch,
+            "num_disks": config.num_disks,
+            "scale": scale,
+        })
     machine = build_machine(sim, config)
     program = build_program(task, config, scale)
     return machine.run(program)
+
+
+def run_task_with_artifacts(config: ArchConfig, task: str,
+                            directory: str,
+                            scale: float = DEFAULT_SCALE,
+                            sample_interval: Optional[float] = 0.25,
+                            prefix: Optional[str] = None) -> RunResult:
+    """Run a task with telemetry and write trace/metrics/summary files.
+
+    Artifacts land in ``directory`` as ``{prefix}.trace.json``,
+    ``{prefix}.metrics.json`` and ``{prefix}.summary.txt``; the default
+    prefix is ``{task}-{arch}-{num_disks}``.
+    """
+    from ..telemetry import Telemetry, write_artifacts
+
+    telemetry = Telemetry(sample_interval=sample_interval)
+    result = run_task(config, task, scale, telemetry=telemetry)
+    if prefix is None:
+        prefix = f"{task}-{config.arch}-{config.num_disks}"
+    write_artifacts(telemetry, directory, prefix=prefix)
+    return result
 
 
 @dataclass

@@ -54,6 +54,7 @@ class Cpu:
         duration = self.scaled(reference_seconds)
         yield from self.server.serve(duration)
         self.busy.charge(bucket, duration)
+        self._record_span(bucket, duration)
 
     def compute_raw(self, seconds: float,
                     bucket: str = "os") -> Generator[Event, Any, None]:
@@ -64,6 +65,20 @@ class Cpu:
             return
         yield from self.server.serve(seconds)
         self.busy.charge(bucket, seconds)
+        self._record_span(bucket, seconds)
+
+    def _record_span(self, bucket: str, duration: float) -> None:
+        """Busy span for the service interval just completed.
+
+        The CPU is a FIFO single-slot server, so the service happened in
+        the trailing ``duration`` of the serve — queueing wait shows up
+        as the gap before the span, i.e. the timeline's idle/contended
+        distinction falls out for free.
+        """
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.spans.complete("host", bucket, f"cpu.{self.name}",
+                               self.sim.now - duration, duration)
 
     def utilization(self) -> float:
         return self.server.utilization()

@@ -72,9 +72,32 @@ class SerialBus:
     def transfer(self, nbytes: int) -> Generator[Event, Any, None]:
         """Move ``nbytes`` across the bus (blocking generator)."""
         began = self.sim.now
-        yield from self.server.serve(self.hold_time(nbytes))
+        tel = self.sim.telemetry
+        if tel.enabled:
+            yield from self._traced_transfer(tel, nbytes, began)
+        else:
+            yield from self.server.serve(self.hold_time(nbytes))
         self.bytes_moved.add(nbytes)
         self.transfer_times.observe(self.sim.now - began)
+
+    def _traced_transfer(self, tel, nbytes: int,
+                         began: float) -> Generator[Event, Any, None]:
+        """serve() split into arbitration + occupancy spans for the trace."""
+        track = f"bus.{self.name}"
+        queue = tel.registry.series(f"bus.{self.name}.queue")
+        queue.set(float(self.occupancy() + 1))
+        yield self.server.request()
+        granted = self.sim.now
+        if granted > began:
+            tel.spans.complete("bus", "arb", f"{track}.wait", began,
+                               granted - began)
+        try:
+            yield self.sim.timeout(self.hold_time(nbytes))
+        finally:
+            self.server.release()
+            queue.set(float(self.occupancy()))
+        tel.spans.complete("bus", "xfer", track, granted,
+                           self.sim.now - granted, args={"nbytes": nbytes})
 
 
 class BusGroup:

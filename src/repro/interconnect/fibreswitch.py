@@ -82,6 +82,7 @@ class FibreSwitch:
                  nbytes: int) -> Generator[Event, Any, None]:
         """Move ``nbytes`` from device ``src`` to device ``dst``."""
         began = self.sim.now
+        tel = self.sim.telemetry
         src_loop = self.loops[self.segment_of(src)]
         dst_loop = self.loops[self.segment_of(dst)]
         if src_loop is dst_loop:
@@ -89,10 +90,19 @@ class FibreSwitch:
         else:
             yield from src_loop.transfer(nbytes)
             self.crossings.add()
+            if tel.enabled:
+                tel.spans.instant(
+                    "bus", "crossing", f"bus.{self.name}",
+                    args={"src": src, "dst": dst, "nbytes": nbytes})
+                tel.registry.counter(f"bus.{self.name}.crossings").add()
             if self.switch_latency > 0:
                 yield self.sim.timeout(self.switch_latency)
             yield from dst_loop.transfer(nbytes)
         self.transfer_times.observe(self.sim.now - began)
+        if tel.enabled:
+            tel.spans.complete(
+                "bus", f"route {src}->{dst}", f"bus.{self.name}",
+                began, self.sim.now - began, args={"nbytes": nbytes})
 
     def bytes_moved(self) -> float:
         return sum(loop.bytes_moved.value for loop in self.loops)

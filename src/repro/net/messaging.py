@@ -99,10 +99,17 @@ class Messaging:
         """Start an asynchronous send; the event fires on delivery."""
 
         def _send() -> Generator[Event, Any, None]:
+            began = self.sim.now
             yield from self._charge_cpu(src, self.send_overhead)
             yield from self.network.transfer(src, dst, nbytes)
             self.mailboxes[dst].deliver(
                 Message(src, dst, tag, nbytes, payload))
+            tel = self.sim.telemetry
+            if tel.enabled:
+                tel.spans.complete(
+                    "net", f"send {src}->{dst}", f"net.msg.host{src}",
+                    began, self.sim.now - began, args={"nbytes": nbytes})
+                tel.registry.counter("net.msg.sends").add()
 
         return self.sim.process(_send(), name=f"send{src}->{dst}")
 
@@ -136,6 +143,10 @@ class Messaging:
         waiting.append(release)
         if len(waiting) == participants:
             del self._barrier_waiting[key]
+            tel = self.sim.telemetry
+            if tel.enabled:
+                tel.spans.instant("net", f"barrier {key}", "net.collectives",
+                                  args={"participants": participants})
             cost = 2 * (64 / self.network.tree.params.host_link_rate
                         + self.network.tree.params.switch_latency)
             for event in waiting:

@@ -46,6 +46,11 @@ class Network:
         self.messages = Counter("net.messages")
         self.bytes = Counter("net.bytes")
         self.latencies = Tally("net.latency")
+        self.in_flight = 0
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.registry.bind("net.messages.in_flight",
+                              lambda: float(self.in_flight))
 
     def _path_hop(self, src: int, dst: int, nbytes: int):
         """One store-and-forward traversal of the path for one unit."""
@@ -72,18 +77,30 @@ class Network:
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")
         began = self.sim.now
-        if src != dst and nbytes > 0:
-            if self.mtu is None or nbytes <= self.mtu:
-                yield from self._path_hop(src, dst, nbytes)
-            else:
-                frames = []
-                remaining = nbytes
-                while remaining > 0:
-                    frame = min(self.mtu, remaining)
-                    remaining -= frame
-                    frames.append(self.sim.process(
-                        self._path_hop(src, dst, frame), name="frame"))
-                yield self.sim.all_of(frames)
+        self.in_flight += 1
+        try:
+            if src != dst and nbytes > 0:
+                if self.mtu is None or nbytes <= self.mtu:
+                    yield from self._path_hop(src, dst, nbytes)
+                else:
+                    frames = []
+                    remaining = nbytes
+                    while remaining > 0:
+                        frame = min(self.mtu, remaining)
+                        remaining -= frame
+                        frames.append(self.sim.process(
+                            self._path_hop(src, dst, frame), name="frame"))
+                    yield self.sim.all_of(frames)
+        finally:
+            self.in_flight -= 1
         self.messages.add()
         self.bytes.add(nbytes)
-        self.latencies.observe(self.sim.now - began)
+        latency = self.sim.now - began
+        self.latencies.observe(latency)
+        tel = self.sim.telemetry
+        if tel.enabled and src != dst and nbytes > 0:
+            tel.spans.complete(
+                "net", f"msg {src}->{dst}", f"net.host{src}.tx",
+                began, latency, args={"nbytes": nbytes})
+            tel.registry.counter("net.bytes").add(nbytes)
+            tel.registry.histogram("net.latency").observe(latency)

@@ -319,15 +319,46 @@ class Simulator:
     trace:
         Optional callable ``trace(time, event)`` invoked for every event
         processed — useful for debugging simulations.
+
+    Attributes
+    ----------
+    telemetry:
+        The observability hub every instrumentation probe reports to.
+        Defaults to the no-op :data:`~repro.telemetry.NULL_TELEMETRY`;
+        install a real :class:`~repro.telemetry.Telemetry` (before
+        building components) to capture spans and metrics.
     """
 
     def __init__(self, trace: Optional[Callable[[float, Event], None]] = None):
+        from ..telemetry import NULL_TELEMETRY
         self._now = 0.0
         self._queue: List = []
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
         self._trace = trace
         self.event_count = 0
+        self.telemetry = NULL_TELEMETRY
+        self._hooks: List[Any] = []
+
+    # -- lifecycle hooks ---------------------------------------------------
+    def add_hook(self, hook: Any) -> None:
+        """Register a lifecycle hook (idempotent).
+
+        A hook is any object with optional ``run_started(sim)`` and
+        ``run_finished(sim)`` methods. ``run_started`` fires at each
+        entry to :meth:`run`, ``run_finished`` when that call returns
+        (including on error) — both in registration order. The
+        telemetry subsystem uses this to start its periodic sampler and
+        to finalize spans.
+        """
+        if hook not in self._hooks:
+            self._hooks.append(hook)
+
+    def _notify(self, method: str) -> None:
+        for hook in self._hooks:
+            callback = getattr(hook, method, None)
+            if callback is not None:
+                callback(self)
 
     @property
     def now(self) -> float:
@@ -389,10 +420,14 @@ class Simulator:
         if until is not None and until < self._now:
             raise SimulationError(
                 f"run(until={until}) is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self.peek() > until:
+        self._notify("run_started")
+        try:
+            while self._queue:
+                if until is not None and self.peek() > until:
+                    self._now = until
+                    return
+                self.step()
+            if until is not None:
                 self._now = until
-                return
-            self.step()
-        if until is not None:
-            self._now = until
+        finally:
+            self._notify("run_finished")

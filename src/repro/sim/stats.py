@@ -58,6 +58,7 @@ class TimeWeighted:
         self.name = name
         self._value = initial
         self._area = 0.0
+        self._created = sim.now
         self._since = sim.now
 
     @property
@@ -74,12 +75,19 @@ class TimeWeighted:
         self.set(self._value + delta)
 
     def average(self) -> float:
-        """Time-weighted average over [0, now]."""
+        """Time-weighted average over [t_created, now].
+
+        Averaging over the tracker's own lifetime — not ``[0, now]`` —
+        matters for components created mid-run: dividing by the full
+        clock would silently deflate their utilization by the fraction
+        of the run they did not exist for.
+        """
         now = self.sim.now
-        if now <= 0:
+        elapsed = now - self._created
+        if elapsed <= 0:
             return self._value
         area = self._area + self._value * (now - self._since)
-        return area / now
+        return area / elapsed
 
 
 class BusyTracker:

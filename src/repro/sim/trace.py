@@ -38,15 +38,29 @@ class TraceEntry:
 
 
 class TraceLog:
-    """Bounded event recorder usable as ``Simulator(trace=...)``."""
+    """Bounded event recorder usable as ``Simulator(trace=...)``.
 
-    def __init__(self, capacity: int = 10_000):
+    When a :class:`~repro.telemetry.Telemetry` hub is attached (via the
+    ``telemetry`` argument or :meth:`attach`), named process completions
+    are forwarded to it as ``kernel``-category instant events — so the
+    debug tracer and the observability subsystem tell one story: the
+    exported Chrome trace shows exactly the completions this ring buffer
+    recorded, and :meth:`window` answers the same question locally.
+    """
+
+    def __init__(self, capacity: int = 10_000, telemetry=None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.entries: Deque[TraceEntry] = deque(maxlen=capacity)
         self.counts: Dict[str, int] = {}
         self.total = 0
+        self._telemetry = telemetry
+
+    def attach(self, telemetry) -> "TraceLog":
+        """Forward future entries to a telemetry hub (fluent)."""
+        self._telemetry = telemetry
+        return self
 
     def __call__(self, time: float, event: Event) -> None:
         kind = type(event).__name__
@@ -54,9 +68,20 @@ class TraceLog:
         self.entries.append(TraceEntry(time=time, kind=kind, name=name))
         self.counts[kind] = self.counts.get(kind, 0) + 1
         self.total += 1
+        tel = self._telemetry
+        if tel is not None and tel.enabled and name:
+            tel.spans.instant("kernel", name, "kernel.processes", ts=time)
 
-    def window(self, start: float, end: float) -> List[TraceEntry]:
-        """Entries with ``start <= time < end`` (within the ring buffer)."""
+    def window(self, start: float, end: Optional[float] = None
+               ) -> List[TraceEntry]:
+        """Entries with ``start <= time < end`` (within the ring buffer).
+
+        ``end=None`` means "until the end of the buffer". Only entries
+        still inside the ring are visible: after wraparound the oldest
+        entries are gone, by design.
+        """
+        if end is None:
+            end = float("inf")
         if end < start:
             raise ValueError(f"bad window [{start}, {end})")
         return [e for e in self.entries if start <= e.time < end]

@@ -52,6 +52,43 @@ class TestTimeWeighted:
         tracker = TimeWeighted(sim, initial=5.0)
         assert tracker.average() == 5.0
 
+    def test_average_for_tracker_created_mid_run(self):
+        # Regression: average() used to divide by `now` measured from
+        # t=0 even for trackers created at t>0, deflating utilization
+        # for components that start mid-run.
+        sim = Simulator()
+        trackers = {}
+
+        def proc():
+            yield sim.timeout(10.0)
+            trackers["late"] = TimeWeighted(sim, initial=4.0)
+            yield sim.timeout(5.0)
+
+        sim.process(proc())
+        sim.run()
+        # Constant 4.0 over its whole 5-second lifetime: the average
+        # must be 4.0, not 4.0 * 5/15.
+        assert trackers["late"].average() == pytest.approx(4.0)
+
+    def test_average_mid_run_piecewise(self):
+        sim = Simulator()
+        trackers = {}
+
+        def proc():
+            yield sim.timeout(8.0)
+            tracker = TimeWeighted(sim, initial=0.0)
+            trackers["t"] = tracker
+            yield sim.timeout(1.0)
+            tracker.set(6.0)
+            yield sim.timeout(2.0)
+            tracker.set(0.0)
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        # Lifetime [8, 12]: 0 for 1s, 6 for 2s, 0 for 1s -> 12/4.
+        assert trackers["t"].average() == pytest.approx(3.0)
+
 
 class TestBusyTracker:
     def test_charge_and_total(self):
