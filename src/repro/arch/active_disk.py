@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator
 
 from ..disk import DiskDrive
-from ..diskos import DiskMemory, StreamBufferProbe
+from ..diskos import DiskMemory, StreamBufferProbe, disklet_restart_cost
 from ..host import Cpu, scaled_os_params
 from ..interconnect import FibreSwitch, SerialBus, dual_fc_al
 from ..sim import Event, Server, Simulator
@@ -59,7 +59,8 @@ class ActiveDiskNode:
     def __init__(self, sim: Simulator, config: ActiveDiskConfig, index: int):
         self.index = index
         self.drive = DiskDrive(sim, config.drive_for(index),
-                               name=f"adisk{index}")
+                               name=f"adisk{index}",
+                               fault_id=f"disk.{index}")
         self.cpu = Cpu(sim, config.disk_cpu_mhz, name=f"adcpu{index}")
         self.memory = DiskMemory(
             config.disk_memory_bytes,
@@ -68,9 +69,11 @@ class ActiveDiskNode:
         layout = self.memory.layout()
         self.comm_credits = Server(
             sim, capacity=layout.comm_buffers, name=f"adcredit{index}")
+        self.faults = (sim.faults.register(f"diskos.{index}")
+                       if sim.faults.enabled else None)
         self.comm_probe = StreamBufferProbe(
             sim.telemetry, f"disk.{index}.comm.buffers",
-            layout.comm_buffers)
+            layout.comm_buffers, faults=self.faults)
         self.read_cursors: Dict = {}
         half = self.drive.geometry.total_sectors // 2
         self.write_cursor = half
@@ -214,6 +217,16 @@ class ActiveDiskMachine(Machine):
     def read_block(self, phase: Phase, w: int, nbytes: int,
                    stream: int) -> Generator[Event, Any, None]:
         node = self.nodes[w]
+        fp = node.faults
+        if fp is not None and fp.active:
+            crash = fp.take("disklet_crash")
+            if crash is not None:
+                # DiskOS re-dispatches the disklet: tear down the
+                # sandbox, reload code + scratch, replay the cursor.
+                self.sim.faults.note("faults.diskos.disklet_restarts")
+                yield from node.cpu.compute_raw(
+                    disklet_restart_cost(phase.scratch_bytes),
+                    bucket=f"{phase.name}:diskos")
         sectors = (nbytes + 511) // 512
         share = self.worker_share(phase, w)
         stride = (share // max(1, phase.read_streams) + 511) // 512
@@ -266,6 +279,7 @@ class ActiveDiskMachine(Machine):
             yield node.comm_credits.request()
             node.comm_probe.acquire()
             try:
+                yield from node.comm_probe.stall_wait(self.sim)
                 yield from self.fabric.transfer(src, dst, nbytes)
                 yield from self.recv_work(phase, dst, nbytes)
             finally:

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from ..faults.errors import FaultError
 from ..host import Cpu
 from ..sim import Event, Simulator
 from .config import ArchConfig
@@ -31,6 +32,37 @@ from .program import Phase, TaskProgram
 
 __all__ = ["Dribble", "WorkLatch", "PhaseResult", "RunResult", "Machine",
            "destination_cycle"]
+
+
+class _RecoveryPool:
+    """Input bytes orphaned by failed workers during one phase.
+
+    A worker that dies deposits its unprocessed share (plus any fixed
+    output tail it never emitted); surviving workers claim the bytes in
+    block-sized chunks during the post-barrier recovery rounds and
+    re-scan them from their own replicas.
+    """
+
+    def __init__(self) -> None:
+        self.lost_bytes = 0
+        self.fixed_shuffle = 0
+        self.fixed_frontend = 0
+        self.failed: set = set()
+
+    def worker_down(self, w: int) -> None:
+        self.failed.add(w)
+
+    def deposit(self, nbytes: int) -> None:
+        self.lost_bytes += nbytes
+
+    def claim(self, maxbytes: int) -> int:
+        take = min(maxbytes, self.lost_bytes)
+        self.lost_bytes -= take
+        return take
+
+    def pending(self) -> bool:
+        return (self.lost_bytes > 0 or self.fixed_shuffle > 0
+                or self.fixed_frontend > 0)
 
 
 def _prefix_phase(phase: Phase, prefix: str) -> Phase:
@@ -184,6 +216,7 @@ class Machine(ABC):
         self.sim = sim
         self.config = config
         self._phase_results: List[PhaseResult] = []
+        self._recovery_pools: Dict[str, _RecoveryPool] = {}
 
     # -- hooks ----------------------------------------------------------------
     @property
@@ -247,7 +280,20 @@ class Machine(ABC):
             self.worker_cpu(dst), phase, phase.recv, nbytes)
         to_write = int(nbytes * phase.recv_write_fraction)
         if to_write > 0:
-            yield from self.write_block(phase, dst, to_write)
+            try:
+                yield from self.write_block(phase, dst, to_write)
+            except FaultError:
+                self._lost_write(to_write)
+
+    def _lost_write(self, nbytes: int) -> None:
+        """Account output bytes dropped because the target device died.
+
+        Locally-written run data is an intermediate the model does not
+        replay; a write refused by a failed drive is counted rather than
+        re-routed (the re-scan of the failed drive's *input* partition is
+        what recovery replays).
+        """
+        self.sim.faults.note("faults.arch.lost_write_bytes", nbytes)
 
     # -- the engine -------------------------------------------------------------
     def run(self, program: TaskProgram) -> RunResult:
@@ -346,6 +392,9 @@ class Machine(ABC):
             ]
             yield self.sim.all_of(workers)
             yield from latch.drained()
+            pool = self._recovery_pools.get(phase.name)
+            if pool is not None and pool.pending():
+                yield from self._recover_phase(phase, latch, pool)
             if tel.enabled:
                 tel.spans.instant("phase", f"{phase.name}: barrier", track)
             yield from self.phase_barrier()
@@ -367,6 +416,82 @@ class Machine(ABC):
                                    args={"workers": self.worker_count})
         self._finished_at = self.sim.now
 
+    # -- degraded-mode recovery -------------------------------------------------
+    def _recover_phase(self, phase: Phase, latch: WorkLatch,
+                       pool: _RecoveryPool):
+        """Re-scan a failed worker's partition on the survivors.
+
+        Runs after the phase's normal workers finish (and their async
+        deliveries drain): the survivors claim the orphaned bytes in
+        block-sized chunks and replay read + compute + route for them —
+        the declustered-reconstruction model, where every survivor holds
+        a replica of a slice of the dead partition. Rounds repeat while
+        the pool refills (a survivor can itself die mid-recovery); the
+        run only fails when no workers are left.
+        """
+        sim = self.sim
+        tel = sim.telemetry
+        began = sim.now
+        while pool.pending():
+            survivors = [w for w in range(self.worker_count)
+                         if w not in pool.failed]
+            if not survivors:
+                raise RuntimeError(
+                    f"{self.arch}/{phase.name}: all workers failed with "
+                    f"{pool.lost_bytes} bytes unrecovered")
+            sim.faults.note("faults.arch.recovery_rounds")
+            emitter = survivors[0]
+            recoverers = [
+                sim.process(
+                    self._recovery_worker(phase, w, latch, pool,
+                                          emit_fixed=(w == emitter)),
+                    name=f"{phase.name}-rec{w}")
+                for w in survivors
+            ]
+            yield sim.all_of(recoverers)
+            yield from latch.drained()
+        if tel.enabled:
+            tel.spans.complete(
+                "recovery", phase.name, f"machine.{self.arch}",
+                began, sim.now - began,
+                args={"failed_workers": len(pool.failed)})
+
+    def _recovery_worker(self, phase: Phase, w: int, latch: WorkLatch,
+                         pool: _RecoveryPool, emit_fixed: bool):
+        """One survivor's share of a recovery round.
+
+        ``emit_fixed``: the lowest-indexed survivor also emits the fixed
+        output tails the failed workers never sent. The tails are taken
+        from the pool up front and re-deposited if this survivor dies
+        before flushing them.
+        """
+        fixed_shuffle = fixed_frontend = 0
+        if emit_fixed:
+            fixed_shuffle, pool.fixed_shuffle = pool.fixed_shuffle, 0
+            fixed_frontend, pool.fixed_frontend = pool.fixed_frontend, 0
+        state = {"claimed": 0}
+
+        def claim(maxbytes: int) -> int:
+            take = pool.claim(maxbytes)
+            state["claimed"] += take
+            return take
+
+        def on_failure(lost: int) -> None:
+            pool.worker_down(w)
+            pool.deposit(lost)
+            pool.fixed_shuffle += fixed_shuffle
+            pool.fixed_frontend += fixed_frontend
+            state["claimed"] -= lost
+            self.sim.faults.note("faults.arch.worker_failures")
+
+        yield from self._block_loop(
+            phase, w, latch, claim,
+            fixed_shuffle=fixed_shuffle,
+            fixed_frontend=fixed_frontend,
+            on_failure=on_failure)
+        self.sim.faults.note("faults.arch.recovered_bytes",
+                             state["claimed"])
+
     def worker_share(self, phase: Phase, w: int) -> int:
         """Bytes worker ``w`` reads in ``phase`` (even split, w-indexed)."""
         total = phase.read_bytes_total
@@ -376,17 +501,67 @@ class Machine(ABC):
             share += 1
         return share
 
+    def _pool_for(self, phase: Phase) -> _RecoveryPool:
+        return self._recovery_pools.setdefault(phase.name, _RecoveryPool())
+
     def run_worker(self, phase: Phase, w: int, latch: WorkLatch):
         """Default pipelined worker loop (AD and cluster; SMP overrides)."""
-        yield from self._block_loop(
-            phase, w, latch, self.worker_share(phase, w))
-
-    def _block_loop(self, phase: Phase, w: int, latch: WorkLatch,
-                    total_bytes: int):
-        """Pipelined read -> compute -> route loop over ``total_bytes``."""
+        total_bytes = self.worker_share(phase, w)
         if (total_bytes <= 0 and phase.frontend_fixed_per_worker <= 0
                 and phase.shuffle_fixed_per_worker <= 0):
             return
+        state = {"claimed": 0}
+
+        def claim(maxbytes: int) -> int:
+            take = min(maxbytes, total_bytes - state["claimed"])
+            state["claimed"] += take
+            return take
+
+        def on_failure(lost: int) -> None:
+            pool = self._pool_for(phase)
+            pool.worker_down(w)
+            pool.deposit(lost + (total_bytes - state["claimed"]))
+            pool.fixed_shuffle += phase.shuffle_fixed_per_worker
+            pool.fixed_frontend += phase.frontend_fixed_per_worker
+            self.sim.faults.note("faults.arch.worker_failures")
+
+        yield from self._block_loop(
+            phase, w, latch, claim,
+            fixed_shuffle=phase.shuffle_fixed_per_worker,
+            fixed_frontend=phase.frontend_fixed_per_worker,
+            on_failure=on_failure)
+
+    def _guard(self, gen):
+        """Run an I/O generator, handing a fault back as the value.
+
+        The block loops keep several reads in flight; raising out of a
+        reader process would abort the simulation before the worker can
+        account the loss, so the guard converts :class:`FaultError` into
+        the process's return value (None on success, as before).
+        """
+        try:
+            yield from gen
+        except FaultError as exc:
+            return exc
+
+    def _read_guard(self, phase: Phase, w: int, nbytes: int, stream: int):
+        gen = self.read_block(phase, w, nbytes, stream)
+        if not self.sim.faults.enabled:
+            return gen
+        return self._guard(gen)
+
+    def _block_loop(self, phase: Phase, w: int, latch: WorkLatch, claim,
+                    fixed_shuffle: int, fixed_frontend: int,
+                    on_failure=None):
+        """Pipelined read -> compute -> route loop over a byte source.
+
+        ``claim(maxbytes) -> int`` hands out the next chunk of input (0
+        when the source is dry). On a read fault the worker stops
+        claiming, drains its in-flight reads (counting their bytes as
+        lost), flushes what it already computed, and reports the loss
+        through ``on_failure(lost_bytes)`` instead of emitting the fixed
+        tails.
+        """
         sim = self.sim
         cpu = self.worker_cpu(w)
         block = self.config.io_request_bytes
@@ -405,20 +580,24 @@ class Machine(ABC):
         dst_index = 0
 
         pending = deque()
-        issued = 0
         stream_cursor = 0
+        broken = False
+        lost = 0
 
         def top_up():
-            nonlocal issued, stream_cursor
-            while issued < total_bytes and len(pending) < depth:
-                nbytes = min(block, total_bytes - issued)
+            nonlocal stream_cursor
+            if broken:
+                return
+            while len(pending) < depth:
+                nbytes = claim(block)
+                if nbytes <= 0:
+                    break
                 stream = stream_cursor % streams
                 stream_cursor += 1
                 reader = sim.process(
-                    self.read_block(phase, w, nbytes, stream),
+                    self._read_guard(phase, w, nbytes, stream),
                     name=f"{phase.name}-r{w}")
                 pending.append((reader, nbytes))
-                issued += nbytes
 
         def flush_shuffle(force: bool):
             nonlocal shuffle_pending, dst_index
@@ -438,10 +617,21 @@ class Machine(ABC):
                 frontend_pending -= batch
                 self.send_frontend(phase, w, batch, latch)
 
+        def write_batch(nbytes: int):
+            nonlocal lost
+            try:
+                yield from self.write_block(phase, w, nbytes)
+            except FaultError:
+                self._lost_write(nbytes)
+
         top_up()
         while pending:
             reader, nbytes = pending.popleft()
-            yield reader
+            outcome = yield reader
+            if outcome is not None:
+                broken = True
+                lost += nbytes
+                continue
             top_up()
             yield from self.charge_cpu(cpu, phase, phase.cpu, nbytes)
             shuffle_pending += shuffle.take(nbytes)
@@ -451,12 +641,24 @@ class Machine(ABC):
             flush_frontend(force=False)
             while write_pending >= block:
                 write_pending -= block
-                yield from self.write_block(phase, w, block)
+                yield from write_batch(block)
             top_up()
 
-        shuffle_pending += phase.shuffle_fixed_per_worker
-        frontend_pending += phase.frontend_fixed_per_worker
+        if broken:
+            # Flush what was computed before the fault (the controller
+            # survives a media failure), then hand the unread remainder
+            # to the phase's recovery pool.
+            flush_shuffle(force=True)
+            flush_frontend(force=True)
+            if write_pending > 0:
+                yield from write_batch(write_pending)
+            if on_failure is not None:
+                on_failure(lost)
+            return
+
+        shuffle_pending += fixed_shuffle
+        frontend_pending += fixed_frontend
         flush_shuffle(force=True)
         flush_frontend(force=True)
         if write_pending > 0:
-            yield from self.write_block(phase, w, write_pending)
+            yield from write_batch(write_pending)

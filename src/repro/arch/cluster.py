@@ -46,7 +46,8 @@ class ClusterNode:
         self.index = index
         self.cpu = Cpu(sim, config.node_cpu_mhz, name=f"node{index}")
         self.drive = DiskDrive(sim, config.drive_for(index),
-                               name=f"cdisk{index}")
+                               name=f"cdisk{index}",
+                               fault_id=f"disk.{index}")
         self.scsi = SerialBus(sim, config.scsi_rate, startup=10e-6,
                               name=f"scsi{index}")
         self.pci = SerialBus(sim, config.pci_rate, startup=1e-6,

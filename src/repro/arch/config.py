@@ -28,6 +28,13 @@ GB = 1_000_000_000
 CORE_SIZES = (16, 32, 64, 128)
 
 
+def _require_positive(**fields: float) -> None:
+    """Raise a named ValueError for any non-positive parameter."""
+    for name, value in fields.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
 @dataclass(frozen=True)
 class ArchConfig:
     """Parameters shared by all three architectures."""
@@ -105,6 +112,15 @@ class ActiveDiskConfig(ArchConfig):
         if self.switch_segments < 1:
             raise ValueError(
                 f"switch_segments must be >= 1: {self.switch_segments}")
+        _require_positive(disk_cpu_mhz=self.disk_cpu_mhz,
+                          disk_memory_bytes=self.disk_memory_bytes,
+                          interconnect_rate=self.interconnect_rate,
+                          frontend_cpu_mhz=self.frontend_cpu_mhz,
+                          frontend_memory_bytes=self.frontend_memory_bytes,
+                          frontend_pci_rate=self.frontend_pci_rate)
+        if self.interconnect_loops < 1:
+            raise ValueError(
+                f"interconnect_loops must be >= 1: {self.interconnect_loops}")
 
     def with_interconnect(self, rate: float) -> "ActiveDiskConfig":
         """Section 4.2 variant: scale the serial interconnect."""
@@ -150,6 +166,22 @@ class ClusterConfig(ArchConfig):
     def arch(self) -> str:
         return "cluster"
 
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_positive(node_cpu_mhz=self.node_cpu_mhz,
+                          node_memory_bytes=self.node_memory_bytes,
+                          node_usable_memory=self.node_usable_memory,
+                          pci_rate=self.pci_rate,
+                          scsi_rate=self.scsi_rate,
+                          frontend_cpu_mhz=self.frontend_cpu_mhz)
+        if self.node_usable_memory > self.node_memory_bytes:
+            raise ValueError(
+                f"node_usable_memory ({self.node_usable_memory}) exceeds "
+                f"node_memory_bytes ({self.node_memory_bytes})")
+        if self.async_receives < 1:
+            raise ValueError(
+                f"async_receives must be >= 1: {self.async_receives}")
+
     @property
     def num_nodes(self) -> int:
         """One disk per node; the front-end is an additional host."""
@@ -176,6 +208,34 @@ class SMPConfig(ArchConfig):
     @property
     def arch(self) -> str:
         return "smp"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_positive(cpu_mhz=self.cpu_mhz,
+                          memory_per_board=self.memory_per_board,
+                          numa_link_rate=self.numa_link_rate,
+                          bte_rate=self.bte_rate,
+                          xio_total_rate=self.xio_total_rate,
+                          io_interconnect_rate=self.io_interconnect_rate)
+        if self.numa_latency < 0:
+            raise ValueError(
+                f"numa_latency must be >= 0: {self.numa_latency}")
+        if self.spinlock_cost < 0:
+            raise ValueError(
+                f"spinlock_cost must be >= 0: {self.spinlock_cost}")
+        if self.cpus_per_board < 1:
+            raise ValueError(
+                f"cpus_per_board must be >= 1: {self.cpus_per_board}")
+        if self.xio_nodes < 1:
+            raise ValueError(f"xio_nodes must be >= 1: {self.xio_nodes}")
+        if self.io_interconnect_loops < 1:
+            raise ValueError(
+                f"io_interconnect_loops must be >= 1: "
+                f"{self.io_interconnect_loops}")
+        if self.stripe_chunk_bytes < 512:
+            raise ValueError(
+                f"stripe_chunk_bytes below one sector: "
+                f"{self.stripe_chunk_bytes}")
 
     @property
     def num_cpus(self) -> int:

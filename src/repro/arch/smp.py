@@ -28,6 +28,7 @@ from math import ceil
 from typing import Any, Dict, Generator, List, Tuple
 
 from ..disk import DiskDrive
+from ..faults.errors import DriveFailed, FaultError
 from ..host import Cpu, RemoteQueue, scaled_os_params
 from ..interconnect import BusGroup, SerialBus, dual_fc_al
 from ..sim import Event, Mutex, Simulator
@@ -90,7 +91,7 @@ class SMPMachine(Machine):
         self.cpus = [Cpu(sim, config.cpu_mhz, name=f"smpcpu{i}")
                      for i in range(config.num_cpus)]
         self.drives = [DiskDrive(sim, config.drive_for(i),
-                                 name=f"sdisk{i}")
+                                 name=f"sdisk{i}", fault_id=f"disk.{i}")
                        for i in range(config.num_disks)]
         self.fc = dual_fc_al(sim, config.io_interconnect_rate,
                              loops=config.io_interconnect_loops)
@@ -174,10 +175,30 @@ class SMPMachine(Machine):
 
     def _volume_io(self, op: str, drives: List[DiskDrive], offset: int,
                    nbytes: int, base_lbn: int) -> Event:
+        chunks = self._chunks(drives, offset, nbytes, base_lbn)
+        if self.sim.faults.enabled:
+            chunks = self._reroute(op, drives, chunks)
         events = [drive.submit(op, lbn, span)
-                  for drive, lbn, span in self._chunks(
-                      drives, offset, nbytes, base_lbn)]
+                  for drive, lbn, span in chunks]
         return self.sim.all_of(events)
+
+    def _reroute(self, op: str, drives: List[DiskDrive], chunks):
+        """Steer striping chunks around drives marked failed.
+
+        The reconstruction-read model: a failed drive's chunk is served
+        by a deterministic survivor (same lbn — every drive has identical
+        geometry). Raises :class:`~repro.faults.DriveFailed` when the
+        whole group is gone.
+        """
+        for drive, lbn, span in chunks:
+            if drive.failed:
+                alive = [d for d in drives if not d.failed]
+                if not alive:
+                    raise DriveFailed(
+                        "smp volume: every drive in the group failed")
+                self.sim.faults.note(f"faults.arch.rerouted_{op}_chunks")
+                drive = alive[drives.index(drive) % len(alive)]
+            yield drive, lbn, span
 
     # -- hooks ------------------------------------------------------------------
     @property
@@ -334,14 +355,28 @@ class SMPMachine(Machine):
                     break
                 offset = index * block
                 nbytes = min(block, total - offset)
-                reader = sim.process(
-                    self._read_at(phase, w, offset, nbytes),
-                    name=f"{phase.name}-sr{w}")
-                reads.append((reader, nbytes))
+                gen = self._read_at(phase, w, offset, nbytes)
+                if sim.faults.enabled:
+                    gen = self._guard(gen)
+                reader = sim.process(gen, name=f"{phase.name}-sr{w}")
+                reads.append((reader, nbytes, offset))
             if not reads:
                 break
-            reader, nbytes = reads.popleft()
-            yield reader
+            reader, nbytes, offset = reads.popleft()
+            outcome = yield reader
+            while outcome is not None:
+                # A drive died with this request in flight; re-issue —
+                # _volume_io now steers around drives marked failed.
+                if all(d.failed
+                       for d in self._state_for(phase).read_drives):
+                    raise RuntimeError(
+                        f"smp/{phase.name}: every drive in the read "
+                        "group failed")
+                sim.faults.note("faults.arch.reread_blocks")
+                retry = sim.process(
+                    self._guard(self._read_at(phase, w, offset, nbytes)),
+                    name=f"{phase.name}-sr{w}")
+                outcome = yield retry
             yield from self.charge_cpu(cpu, phase, phase.cpu, nbytes)
             shuffle_pending += shuffle.take(nbytes)
             frontend_pending += frontend.take(nbytes)
@@ -349,13 +384,29 @@ class SMPMachine(Machine):
             flush(force=False)
             while write_pending >= block:
                 write_pending -= block
-                yield from self.write_block(phase, w, block)
+                yield from self._write_retry(phase, w, block)
 
         shuffle_pending += phase.shuffle_fixed_per_worker
         frontend_pending += phase.frontend_fixed_per_worker
         flush(force=True)
         if write_pending > 0:
-            yield from self.write_block(phase, w, write_pending)
+            yield from self._write_retry(phase, w, write_pending)
+
+    def _write_retry(self, phase: Phase, w: int, nbytes: int):
+        """``write_block`` that re-issues after an in-flight drive death.
+
+        The re-issued request reroutes around drives marked failed (see
+        :meth:`_reroute`); only a whole-group failure propagates.
+        """
+        state = self._state_for(phase)
+        while True:
+            try:
+                yield from self.write_block(phase, w, nbytes)
+                return
+            except FaultError:
+                if all(d.failed for d in state.write_drives):
+                    raise
+                self.sim.faults.note("faults.arch.rewritten_blocks")
 
     def phase_barrier(self):
         """Shared-memory tree barrier across boards (1 us NUMA hops)."""

@@ -124,6 +124,24 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS", default=0.25,
                      help="simulated seconds between telemetry probe "
                           "samples (default 0.25; 0 disables sampling)")
+    run.add_argument("--fault-plan", metavar="FILE", default=None,
+                     help="run in degraded mode: inject the faults "
+                          "described in this JSON plan (see docs/FAULTS.md)")
+    run.add_argument("--fault-seed", type=int, metavar="N", default=None,
+                     help="override the fault plan's RNG seed")
+
+    degraded = sub.add_parser(
+        "degraded", help="clean vs. drive-failure run on every architecture")
+    degraded.add_argument("--task", choices=registered_tasks(),
+                          default="select")
+    degraded.add_argument("--disks", type=int, default=8)
+    degraded.add_argument("--failed-disk", type=int, default=1)
+    degraded.add_argument("--fail-at", type=float, default=0.3,
+                          metavar="FRACTION",
+                          help="failure time as a fraction of the clean "
+                               "run's elapsed time (default 0.3)")
+    degraded.add_argument("--scale", type=parse_scale, default=DEFAULT_SCALE)
+    degraded.add_argument("--seed", type=int, default=0)
 
     for name, helptext, extras in (
             ("fig1", "architecture comparison (Figure 1)", "sizes tasks"),
@@ -176,7 +194,12 @@ def _command_run(args) -> str:
     if args.trace_out or args.metrics_out:
         from .telemetry import Telemetry
         telemetry = Telemetry(sample_interval=args.sample_interval)
-    result = run_task(config, args.task, scale, telemetry=telemetry)
+    fault_plan = None
+    if args.fault_plan:
+        from .faults import FaultPlan
+        fault_plan = FaultPlan.from_file(args.fault_plan)
+    result = run_task(config, args.task, scale, telemetry=telemetry,
+                      fault_plan=fault_plan, fault_seed=args.fault_seed)
     lines = [
         f"{args.task} on {args.arch} / {args.disks} disks "
         f"(scale {scale:g})",
@@ -203,6 +226,26 @@ def _command_run(args) -> str:
     return "\n".join(lines)
 
 
+def _command_degraded(args) -> str:
+    from .experiments import run_degraded_sweep
+    result = run_degraded_sweep(
+        task=args.task, num_disks=args.disks,
+        failed_disk=args.failed_disk, fail_fraction=args.fail_at,
+        scale=_scale_value(args), seed=args.seed)
+    lines = [
+        f"{args.task} with disk.{args.failed_disk} failing at "
+        f"{args.fail_at:.0%} of the clean run ({args.disks} disks)",
+    ]
+    for cell in result.cells:
+        lines.append(
+            f"  {cell.arch:8s} clean={cell.baseline.elapsed:8.3f}s  "
+            f"degraded={cell.degraded.elapsed:8.3f}s  "
+            f"inflation={cell.inflation:.3f}x")
+        for key, value in sorted(cell.counters.items()):
+            lines.append(f"           {key}: {value:,.0f}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -210,6 +253,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         print(_command_run(args))
+        return 0
+    if args.command == "degraded":
+        print(_command_degraded(args))
         return 0
     if args.command == "scorecard":
         from .experiments import run_scorecard

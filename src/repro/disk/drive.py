@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from math import ceil
 from typing import Optional
 
+from ..faults.errors import DriveFailed
 from ..sim import BusyTracker, Event, Simulator, Store, Tally
 from .cache import SegmentedCache
 from .geometry import DiskGeometry
@@ -36,6 +37,10 @@ from .scheduler import RequestQueue
 from .specs import DriveSpec
 
 __all__ = ["DiskRequest", "DiskDrive"]
+
+#: Read retries (full revolutions) a drive spends on a marginal sector
+#: when the fault spec does not pin a count.
+DEFAULT_READ_RETRIES = 2
 
 
 @dataclass
@@ -78,7 +83,8 @@ class DiskDrive:
 
     def __init__(self, sim: Simulator, spec: DriveSpec,
                  discipline: str = "fcfs", name: str = "disk",
-                 write_policy: str = "through"):
+                 write_policy: str = "through",
+                 fault_id: Optional[str] = None):
         if write_policy not in ("through", "back"):
             raise ValueError(
                 f"unknown write policy {write_policy!r}; "
@@ -109,11 +115,28 @@ class DiskDrive:
             tel.registry.bind(f"disk.{name}.queue.depth",
                               lambda: float(len(self.queue)))
             tel.registry.bind(f"disk.{name}.utilization", self.utilization)
-        self.process = sim.process(self._service_loop(), name=f"{name}-svc")
+        # Fault port: None unless a plan is armed, so the hot paths pay a
+        # single `is None` branch (the zero-cost contract).
+        self.failed = False
+        self.faults = None
+        if sim.faults.enabled:
+            self.faults = sim.faults.register(fault_id or f"disk.{name}")
+            self.faults.on("drive_failure", self._on_drive_failure)
+        # The service loop idles forever between requests: a daemon by
+        # design, excluded from SimStalled deadlock detection.
+        self.process = sim.process(self._service_loop(), name=f"{name}-svc",
+                                   daemon=True)
 
     # -- public API --------------------------------------------------------
     def submit(self, op: str, lbn: int, nbytes: int) -> Event:
-        """Queue a request; the returned event fires at completion."""
+        """Queue a request; the returned event fires at completion.
+
+        On a failed drive the event fails immediately with
+        :class:`~repro.faults.DriveFailed` (pre-defused, so an unwaited
+        rejection cannot abort the run).
+        """
+        if self.failed:
+            return self._refuse()
         sectors = ceil(nbytes / self.spec.sector_bytes)
         if lbn + sectors > self.geometry.total_sectors:
             raise ValueError(
@@ -139,6 +162,67 @@ class DiskDrive:
         if self.sim.now <= 0:
             return 0.0
         return self.busy.total() / self.sim.now
+
+    # -- fault handling ------------------------------------------------------
+    def _failure(self) -> DriveFailed:
+        return DriveFailed(self.name)
+
+    def _refuse(self) -> Event:
+        """A pre-failed, pre-defused completion event for a dead drive."""
+        done = Event(self.sim)
+        done.fail(self._failure())
+        # Defused up front: a waiter that yields the event still sees the
+        # exception (the resume path re-raises it), but a request nobody
+        # ends up waiting on cannot abort the whole simulation.
+        done._defused = True
+        if self.faults is not None:
+            self.faults.note("faults.disk.rejected_requests")
+        return done
+
+    def _on_drive_failure(self, _spec) -> None:
+        """Push callback from the injector: the whole spindle dies now."""
+        self.failed = True
+        self._dirty.clear()
+        self._dirty_bytes = 0
+        port = self.faults
+        port.note("faults.disk.failures")
+        dropped = self.queue.drain()
+        for request in dropped:
+            request.done._defused = True  # see _refuse
+            request.done.fail(self._failure())
+        if dropped:
+            port.note("faults.disk.dropped_requests", len(dropped))
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.spans.instant("fault", "drive-failure", self._track,
+                              args={"dropped": len(dropped)})
+
+    def _media_recovery(self, fault, op: str):
+        """Charge read-retry revolutions (and a remap) for a bad sector."""
+        port = self.faults
+        port.consume(fault)
+        if op == "write":
+            # Overwriting the marginal sector rewrites (or revectors) it;
+            # no retries needed on the write path.
+            port.note("faults.disk.media_cleared")
+            return
+        retries = int(fault.magnitude) or DEFAULT_READ_RETRIES
+        penalty = retries * self.spec.revolution_time
+        if fault.kind == "latent_sector_error":
+            # Revector to a spare sector: one track switch plus the
+            # rotational delay of landing on the spare.
+            penalty += self.spec.seek_track_to_track + self.spec.revolution_time
+            port.note("faults.disk.remaps")
+        began = self.sim.now
+        yield self.sim.timeout(penalty)
+        self.busy.charge("recovery", penalty)
+        port.note("faults.disk.media_errors")
+        port.note("faults.disk.read_retries", retries)
+        tel = self.sim.telemetry
+        if tel.enabled:
+            tel.spans.complete("disk", "media-recovery", self._track,
+                               began, penalty,
+                               args={"lbn": fault.lbn, "kind": fault.kind})
 
     # -- service loop --------------------------------------------------------
     def _service_loop(self):
@@ -172,11 +256,18 @@ class DiskDrive:
                                   args={"lbn": lbn, "nbytes": nbytes})
                 tel.registry.counter(f"{self._track}.cache.hits").add()
             return
+        # Limp mode: an active drive_slowdown fault stretches every
+        # mechanical delay by its factor.
+        fp = self.faults
+        slow = fp.factor() if fp is not None and fp.active else 1.0
         if not (outcome.streaming and self.head_lbn == lbn):
             delay, cylinder = self.mechanics.positioning_time(
                 self.sim.now, self.current_cylinder, lbn, write)
             seek = self.mechanics.seek_time(
                 self.current_cylinder, cylinder, write)
+            if slow != 1.0:
+                delay *= slow
+                seek *= slow
             began = self.sim.now
             if delay > 0:
                 yield self.sim.timeout(delay)
@@ -191,6 +282,8 @@ class DiskDrive:
                                        began + seek, delay - seek)
             self.current_cylinder = cylinder
         transfer = self.mechanics.transfer_time(lbn, nbytes)
+        if slow != 1.0:
+            transfer *= slow
         began = self.sim.now
         if transfer > 0:
             yield self.sim.timeout(transfer)
@@ -198,6 +291,10 @@ class DiskDrive:
         if tel.enabled and transfer > 0:
             tel.spans.complete("disk", op, self._track, began, transfer,
                                args={"nbytes": nbytes})
+        if fp is not None and fp.active:
+            hit = fp.media_hit(lbn, sectors)
+            if hit is not None:
+                yield from self._media_recovery(hit, op)
         end = lbn + sectors
         self.current_cylinder, _, _ = self.geometry.lbn_to_chs(end - 1)
         self.head_lbn = end

@@ -45,12 +45,26 @@ class DiskGeometry:
     """
 
     def __init__(self, spec: DriveSpec):
+        if not isinstance(spec, DriveSpec):
+            raise ValueError(
+                f"DiskGeometry needs a DriveSpec, got {type(spec).__name__}")
+        # DriveSpec validates its own fields; re-check the invariants the
+        # zone-table construction depends on so a hand-rolled/mocked spec
+        # fails here with a clear message rather than as mapping nonsense.
+        if spec.cylinders < spec.zones:
+            raise ValueError(
+                f"{spec.name}: fewer cylinders ({spec.cylinders}) than "
+                f"zones ({spec.zones})")
         self.spec = spec
         self.zones: List[Zone] = []
         self._build_zones()
         last = self.zones[-1]
         self.total_sectors = last.first_lbn + last.sector_count(spec.heads)
         self.capacity_bytes = self.total_sectors * spec.sector_bytes
+        if self.total_sectors <= 0:
+            raise ValueError(
+                f"{spec.name}: geometry maps zero sectors — check media "
+                f"rates and rpm")
 
     def _build_zones(self) -> None:
         spec = self.spec

@@ -43,6 +43,12 @@ class RequestQueue:
         self._queue.append(request)
         self.max_depth = max(self.max_depth, len(self._queue))
 
+    def drain(self) -> List:
+        """Remove and return every pending request (drive failure path)."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
     def pop_next(self, current_cylinder: int):
         """Remove and return the next request per the discipline."""
         if not self._queue:

@@ -64,6 +64,41 @@ class DriveSpec:
     sector_bytes: int = SECTOR_BYTES
     zones: int = 10
 
+    def __post_init__(self) -> None:
+        for attr in ("rpm", "media_rate_min", "media_rate_max", "bus_rate"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(
+                    f"{self.name}: {attr} must be positive, "
+                    f"got {getattr(self, attr)}")
+        for attr in ("cylinders", "heads", "sector_bytes"):
+            if getattr(self, attr) < 1:
+                raise ValueError(
+                    f"{self.name}: {attr} must be >= 1, "
+                    f"got {getattr(self, attr)}")
+        for attr in ("seek_avg_read", "seek_avg_write", "seek_max_read",
+                     "seek_max_write", "seek_track_to_track",
+                     "controller_overhead"):
+            if getattr(self, attr) < 0:
+                raise ValueError(
+                    f"{self.name}: {attr} must be >= 0, "
+                    f"got {getattr(self, attr)}")
+        if self.media_rate_max < self.media_rate_min:
+            raise ValueError(
+                f"{self.name}: media_rate_max ({self.media_rate_max}) below "
+                f"media_rate_min ({self.media_rate_min}) — outer zones are "
+                f"the fast ones")
+        if self.cache_bytes < 0:
+            raise ValueError(
+                f"{self.name}: cache_bytes must be >= 0, got {self.cache_bytes}")
+        if self.cache_segments < 1:
+            raise ValueError(
+                f"{self.name}: cache_segments must be >= 1, "
+                f"got {self.cache_segments}")
+        if not 1 <= self.zones <= self.cylinders:
+            raise ValueError(
+                f"{self.name}: zones must be in [1, cylinders], "
+                f"got {self.zones}")
+
     @property
     def revolution_time(self) -> float:
         """Seconds per platter revolution."""

@@ -3,7 +3,9 @@
 from .disklet import Disklet
 from .memory import BASE_COMM_BUFFERS, BASE_MEMORY, DiskMemory, MemoryLayout
 from .runtime import (
+    DISKLET_RESTART_OVERHEAD,
     DiskletStage,
+    disklet_restart_cost,
     phase_from_disklet,
     program_from_disklets,
     validate_disklet,
@@ -16,4 +18,5 @@ __all__ = [
     "DiskMemory", "MemoryLayout", "BASE_MEMORY", "BASE_COMM_BUFFERS",
     "DiskletStage", "validate_disklet", "phase_from_disklet",
     "program_from_disklets", "DiskletScheduler",
+    "DISKLET_RESTART_OVERHEAD", "disklet_restart_cost",
 ]

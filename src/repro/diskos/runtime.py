@@ -29,7 +29,29 @@ from .memory import MemoryLayout
 from .streams import SinkKind
 
 __all__ = ["DiskletStage", "validate_disklet", "phase_from_disklet",
-           "program_from_disklets"]
+           "program_from_disklets", "DISKLET_RESTART_OVERHEAD",
+           "disklet_restart_cost"]
+
+#: Seconds of on-disk CPU time DiskOS spends re-dispatching a crashed
+#: disklet: tear down the sandbox, reload code + scratch from the
+#: resident image and replay the stream cursor. Measured in the same
+#: spirit as the paper's fixed OS costs — a small constant, large next
+#: to a block's compute cost.
+DISKLET_RESTART_OVERHEAD = 2e-3
+
+
+def disklet_restart_cost(scratch_bytes: int = 0,
+                         reload_rate: float = 100e6) -> float:
+    """Restart cost for a disklet with ``scratch_bytes`` of state.
+
+    The fixed :data:`DISKLET_RESTART_OVERHEAD` plus the time to rebuild
+    the scratch area at ``reload_rate`` bytes/s from the on-media image.
+    """
+    if scratch_bytes < 0:
+        raise ValueError(f"negative scratch size: {scratch_bytes}")
+    if reload_rate <= 0:
+        raise ValueError(f"reload rate must be positive, got {reload_rate}")
+    return DISKLET_RESTART_OVERHEAD + scratch_bytes / reload_rate
 
 
 @dataclass(frozen=True)

@@ -88,16 +88,29 @@ class StreamBufferProbe:
     mean buffers held, peak = high-water mark), which is how buffer
     starvation shows up in a metrics report. Costs nothing when the
     telemetry hub is the null one.
+
+    With a fault port attached (``faults``), :meth:`stall_wait` lets the
+    owning machine model a ``stream_stall`` window — DiskOS withholding
+    buffer grants, e.g. while its buffer cache recovers — by blocking
+    the requester until the window clears.
     """
 
-    def __init__(self, telemetry, name: str, capacity: int):
+    def __init__(self, telemetry, name: str, capacity: int, faults=None):
         if capacity < 1:
             raise ValueError(f"{name}: buffer pool capacity must be >= 1")
         self.name = name
         self.capacity = capacity
         self.held = 0
+        self.faults = faults
         self._series = (telemetry.registry.series(name)
                         if telemetry.enabled else None)
+
+    def stall_wait(self, sim):
+        """Generator: block while a ``stream_stall`` fault is active."""
+        if self.faults is not None and self.faults.active:
+            yield from self.faults.wait_out(
+                sim, kinds=("stream_stall",),
+                counter="faults.stream.stalls")
 
     def acquire(self) -> None:
         """Note one buffer granted (call after the credit is held)."""

@@ -23,6 +23,12 @@ from .export import (
     rows_to_csv,
     rows_to_json,
 )
+from .degraded import (
+    DegradedCell,
+    DegradedResult,
+    drive_failure_plan,
+    run_degraded_sweep,
+)
 from .report import render_bars, render_grouped_bars, render_series, render_table
 from .scorecard import Claim, ClaimResult, paper_claims, run_scorecard
 from .summary import run_all
@@ -47,4 +53,6 @@ __all__ = [
     "fig1_rows", "fig2_rows", "fig3_rows", "fig4_rows", "fig5_rows",
     "rows_to_csv", "rows_to_json",
     "run_scorecard", "paper_claims", "Claim", "ClaimResult",
+    "run_degraded_sweep", "drive_failure_plan",
+    "DegradedCell", "DegradedResult",
 ]

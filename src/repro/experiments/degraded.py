@@ -1,0 +1,102 @@
+"""Degraded-mode sweep: completion-time inflation under a drive failure.
+
+The paper evaluates the three architectures on their throughput when
+everything works; this driver asks the follow-up question an operator
+would — *what does losing a drive mid-scan cost each design?* For every
+architecture it runs a task twice on the same configuration: once clean
+(the baseline), once with a whole-drive failure injected partway through
+the baseline's elapsed time. The run must complete either way; the
+result reports the completion-time inflation plus the recovery counters
+the fault subsystem accumulated.
+
+The three designs degrade differently by construction:
+
+* **Active Disks / cluster** lose a worker with its drive — the
+  survivors re-scan the dead partition in explicit recovery rounds after
+  the phase barrier (declustered reconstruction).
+* **SMP** loses only spindle bandwidth — processors reroute striping
+  chunks around the dead drive on the fly, so no recovery round exists,
+  just a hotter surviving farm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..arch import RunResult
+from ..faults import FaultPlan, FaultSpec
+from .runner import ARCHITECTURES, DEFAULT_SCALE, config_for, run_task
+
+__all__ = ["DegradedCell", "DegradedResult", "run_degraded_sweep",
+           "drive_failure_plan"]
+
+
+def drive_failure_plan(disk: int, at: float, seed: int = 0) -> FaultPlan:
+    """A plan that kills ``disk.<disk>`` outright at time ``at``."""
+    return FaultPlan.of(
+        FaultSpec(kind="drive_failure", target=f"disk.{disk}", at=at),
+        seed=seed)
+
+
+@dataclass
+class DegradedCell:
+    """One architecture's clean-vs-degraded pair."""
+
+    arch: str
+    baseline: RunResult
+    degraded: RunResult
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def inflation(self) -> float:
+        """Degraded elapsed over clean elapsed (>= 1.0 in practice)."""
+        return self.degraded.elapsed / self.baseline.elapsed
+
+
+@dataclass
+class DegradedResult:
+    """Outcome of :func:`run_degraded_sweep`."""
+
+    task: str
+    num_disks: int
+    failed_disk: int
+    fail_fraction: float
+    cells: List[DegradedCell] = field(default_factory=list)
+
+    def cell(self, arch: str) -> DegradedCell:
+        for cell in self.cells:
+            if cell.arch == arch:
+                return cell
+        raise KeyError(f"no degraded cell for {arch!r}")
+
+
+def run_degraded_sweep(task: str = "select", num_disks: int = 8,
+                       failed_disk: int = 1, fail_fraction: float = 0.3,
+                       scale: float = DEFAULT_SCALE, seed: int = 0,
+                       architectures: Tuple[str, ...] = ARCHITECTURES,
+                       ) -> DegradedResult:
+    """Clean + degraded run of ``task`` on every architecture.
+
+    ``fail_fraction`` places the drive failure at that fraction of each
+    architecture's *own* clean completion time, so every design is hit
+    at the same relative point in its run.
+    """
+    if not 0.0 <= fail_fraction < 1.0:
+        raise ValueError(
+            f"fail_fraction must be in [0, 1), got {fail_fraction}")
+    result = DegradedResult(task=task, num_disks=num_disks,
+                            failed_disk=failed_disk,
+                            fail_fraction=fail_fraction)
+    for arch in architectures:
+        config = config_for(arch, num_disks)
+        baseline = run_task(config, task, scale)
+        plan = drive_failure_plan(
+            failed_disk, at=baseline.elapsed * fail_fraction, seed=seed)
+        degraded = run_task(config, task, scale, fault_plan=plan)
+        counters = {key: value for key, value in degraded.extras.items()
+                    if key.startswith("faults.")}
+        result.cells.append(DegradedCell(
+            arch=arch, baseline=baseline, degraded=degraded,
+            counters=counters))
+    return result

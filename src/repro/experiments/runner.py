@@ -47,7 +47,8 @@ def config_for(arch: str, num_disks: int, **overrides) -> ArchConfig:
 
 def run_task(config: ArchConfig, task: str,
              scale: float = DEFAULT_SCALE,
-             telemetry=None) -> RunResult:
+             telemetry=None, fault_plan=None,
+             fault_seed: Optional[int] = None) -> RunResult:
     """Simulate ``task`` on a fresh machine built from ``config``.
 
     Pass a fresh :class:`~repro.telemetry.Telemetry` hub to record a
@@ -55,6 +56,12 @@ def run_task(config: ArchConfig, task: str,
     *before* the machine is built, so every component registers its
     probes. The same hub also gets ``task``/``arch``/``scale`` metadata
     for the exporters.
+
+    Pass a :class:`~repro.faults.FaultPlan` to run in degraded mode: the
+    injector is installed before the machine is built (so components
+    register their fault ports), and the run's fault counters are merged
+    into :attr:`RunResult.extras`. ``fault_seed`` overrides the plan's
+    own seed; identical (plan, seed) pairs replay identical timelines.
     """
     sim = Simulator()
     if telemetry is not None:
@@ -65,9 +72,19 @@ def run_task(config: ArchConfig, task: str,
             "num_disks": config.num_disks,
             "scale": scale,
         })
+    injector = None
+    if fault_plan is not None:
+        from ..faults import FaultInjector
+        injector = FaultInjector(fault_plan, seed=fault_seed)
+        injector.install(sim)
     machine = build_machine(sim, config)
     program = build_program(task, config, scale)
-    return machine.run(program)
+    result = machine.run(program)
+    if injector is not None:
+        result.extras.update(
+            {key: float(value)
+             for key, value in sorted(injector.counters.items())})
+    return result
 
 
 def run_task_with_artifacts(config: ArchConfig, task: str,

@@ -1,0 +1,259 @@
+"""The fault injector: arms a plan on a simulator and drives its ports.
+
+Mirrors the telemetry wiring exactly: ``Simulator.__init__`` sets
+``sim.faults`` to the module-level :data:`NULL_FAULTS` singleton
+(``enabled`` is False), and a real :class:`FaultInjector` replaces it
+via :meth:`FaultInjector.install`. Component models register a
+:class:`FaultPort` only when ``sim.faults.enabled`` and keep ``None``
+otherwise, so an unarmed run pays one attribute load and an ``is None``
+branch per injection site — no allocation, no RNG draw, and a
+bit-identical event timeline.
+
+Determinism: activations are scheduled as ordinary simulator processes
+at the spec's ``at`` time, probabilistic draws come from one seeded
+``random.Random`` consumed in event order, and the injector keeps a
+``timeline`` of (time, action, kind, component) tuples so two runs with
+the same (plan, seed) can be compared entry for entry.
+"""
+
+from __future__ import annotations
+
+import random
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .plan import WINDOWED_KINDS, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "FaultPort", "NullFaultInjector", "NULL_FAULTS"]
+
+#: Window kinds that stall the component outright (vs. degrade it).
+_OUTAGE_KINDS = ("loop_outage", "link_flap", "stream_stall")
+
+
+class FaultPort:
+    """One component's view of the injector.
+
+    Components poll the port on their hot paths (``factor()``,
+    ``probability()``, ``media_hit()``, ``down_remaining()``) or
+    register a callback for push-style faults (``drive_failure``).
+    """
+
+    __slots__ = ("injector", "component_id", "active", "_callbacks")
+
+    def __init__(self, injector: "FaultInjector", component_id: str):
+        self.injector = injector
+        self.component_id = component_id
+        self.active: List[FaultSpec] = []
+        self._callbacks: Dict[str, Callable[[FaultSpec], None]] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPort({self.component_id!r}, active={len(self.active)})"
+
+    @property
+    def rng(self) -> random.Random:
+        return self.injector.rng
+
+    def on(self, kind: str, callback: Callable[[FaultSpec], None]) -> None:
+        """Register a push callback fired when ``kind`` activates."""
+        self._callbacks[kind] = callback
+
+    def note(self, key: str, amount: float = 1) -> None:
+        self.injector.note(key, amount)
+
+    # -- injector side ----------------------------------------------------
+    def _activate(self, spec: FaultSpec) -> None:
+        self.active.append(spec)
+        callback = self._callbacks.get(spec.kind)
+        if callback is not None:
+            callback(spec)
+
+    def _deactivate(self, spec: FaultSpec) -> None:
+        try:
+            self.active.remove(spec)
+        except ValueError:
+            pass  # already consumed by the component
+
+    # -- component queries ------------------------------------------------
+    def take(self, kind: str) -> Optional[FaultSpec]:
+        """Consume and return the first armed fault of ``kind``, if any."""
+        for spec in self.active:
+            if spec.kind == kind:
+                self.active.remove(spec)
+                return spec
+        return None
+
+    def consume(self, spec: FaultSpec) -> None:
+        """Mark a one-shot spec as spent (media error repaired, ...)."""
+        self._deactivate(spec)
+
+    def factor(self) -> float:
+        """Combined service-time multiplier from active slowdowns."""
+        factor = 1.0
+        for spec in self.active:
+            if spec.kind == "drive_slowdown":
+                factor *= spec.magnitude
+        return factor
+
+    def probability(self, kind: str) -> float:
+        """Combined per-operation error probability for ``kind``."""
+        survive = 1.0
+        for spec in self.active:
+            if spec.kind == kind:
+                survive *= 1.0 - spec.magnitude
+        return 1.0 - survive
+
+    def down_remaining(self, now: float,
+                       kinds: Tuple[str, ...] = _OUTAGE_KINDS) -> float:
+        """Seconds until every active outage window has cleared."""
+        remaining = 0.0
+        for spec in self.active:
+            if spec.kind in kinds:
+                remaining = max(remaining, spec.end - now)
+        return remaining
+
+    def wait_out(self, sim, kinds: Tuple[str, ...] = _OUTAGE_KINDS,
+                 counter: Optional[str] = None):
+        """Generator: block until active outage windows of ``kinds`` end."""
+        stalled = 0.0
+        while True:
+            remaining = self.down_remaining(sim.now, kinds)
+            if remaining <= 0:
+                break
+            stalled += remaining
+            yield sim.timeout(remaining)
+        if stalled > 0 and counter:
+            self.note(counter)
+            self.note(counter + "_seconds", stalled)
+
+    def media_hit(self, lbn: int, sectors: int) -> Optional[FaultSpec]:
+        """First armed media fault whose LBN falls inside the request."""
+        for spec in self.active:
+            if (spec.kind in ("media_error", "latent_sector_error")
+                    and lbn <= spec.lbn < lbn + sectors):
+                return spec
+        return None
+
+
+class FaultInjector:
+    """Owns a plan, a seeded RNG, the ports, counters and the timeline."""
+
+    enabled = True
+
+    def __init__(self, plan: Optional[FaultPlan] = None,
+                 seed: Optional[int] = None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.seed = self.plan.seed if seed is None else seed
+        self.rng = random.Random(self.seed)
+        self.ports: List[FaultPort] = []
+        self.counters: Dict[str, float] = {}
+        self.timeline: List[Tuple[float, str, str, str]] = []
+        self._sim: Any = None
+        self._armed = False
+
+    # -- wiring -----------------------------------------------------------
+    def install(self, sim) -> "FaultInjector":
+        """Attach to ``sim``: become ``sim.faults`` and hook its run."""
+        if self._sim is not None and self._sim is not sim:
+            raise RuntimeError("FaultInjector is already installed on a "
+                               "different simulator")
+        self._sim = sim
+        sim.faults = self
+        sim.add_hook(self)
+        return self
+
+    def register(self, component_id: str) -> FaultPort:
+        """Create the port through which ``component_id`` sees faults."""
+        if self._armed:
+            raise RuntimeError(
+                f"cannot register {component_id!r}: the plan is already "
+                f"armed — build components before running the simulator")
+        port = FaultPort(self, component_id)
+        self.ports.append(port)
+        return port
+
+    # -- simulator lifecycle hook protocol --------------------------------
+    def run_started(self, sim) -> None:
+        if self._armed:
+            return
+        self._armed = True
+        for spec in self.plan:
+            targets = [port for port in self.ports
+                       if fnmatchcase(port.component_id, spec.target)]
+            if targets:
+                sim.process(self._deliver(sim, spec, targets),
+                            name=f"fault:{spec.kind}@{spec.target}")
+            else:
+                self.note(f"faults.unmatched.{spec.kind}")
+
+    def run_finished(self, sim) -> None:
+        pass
+
+    def _deliver(self, sim, spec: FaultSpec, targets: List[FaultPort]):
+        if spec.at > 0:
+            yield sim.timeout(spec.at)
+        for port in targets:
+            self.record("inject", spec.kind, port.component_id)
+            port._activate(spec)
+        self.note(f"faults.injected.{spec.kind}")
+        if spec.kind in WINDOWED_KINDS and spec.duration > 0:
+            yield sim.timeout(spec.duration)
+            for port in targets:
+                self.record("clear", spec.kind, port.component_id)
+                port._deactivate(spec)
+
+    # -- accounting -------------------------------------------------------
+    def note(self, key: str, amount: float = 1) -> None:
+        """Bump a fault counter (mirrored into telemetry when recording)."""
+        self.counters[key] = self.counters.get(key, 0) + amount
+        sim = self._sim
+        if sim is not None and sim.telemetry.enabled:
+            sim.telemetry.registry.counter(key).add(amount)
+
+    def record(self, action: str, kind: str, component_id: str) -> None:
+        """Append to the deterministic event timeline (+ trace instant)."""
+        sim = self._sim
+        now = sim.now if sim is not None else 0.0
+        self.timeline.append((now, action, kind, component_id))
+        if sim is not None and sim.telemetry.enabled:
+            sim.telemetry.spans.instant(
+                "fault", f"{action}:{kind}", component_id, ts=now)
+
+
+class NullFaultInjector:
+    """The do-nothing injector every simulator starts with.
+
+    ``register`` raises: components must check ``sim.faults.enabled``
+    and keep their port reference ``None`` when no plan is armed — that
+    guard is the zero-cost contract.
+    """
+
+    enabled = False
+    plan = FaultPlan()
+    seed = 0
+    ports: tuple = ()
+    counters: Dict[str, float] = {}
+    timeline: tuple = ()
+
+    def install(self, sim) -> "NullFaultInjector":
+        sim.faults = self
+        return self
+
+    def register(self, component_id: str) -> FaultPort:
+        raise RuntimeError(
+            "no fault plan armed; guard registration with "
+            "`if sim.faults.enabled:`")
+
+    def note(self, key: str, amount: float = 1) -> None:
+        pass
+
+    def record(self, action: str, kind: str, component_id: str) -> None:
+        pass
+
+    def run_started(self, sim) -> None:
+        pass
+
+    def run_finished(self, sim) -> None:
+        pass
+
+
+NULL_FAULTS = NullFaultInjector()

@@ -1,0 +1,186 @@
+"""Fault plans: declarative, serialisable schedules of fault specs.
+
+A :class:`FaultPlan` is a tuple of :class:`FaultSpec` entries plus a
+seed for the injector's RNG. Plans are plain data — they can be built
+in code, loaded from a JSON file (``repro run --fault-plan plan.json``)
+and round-tripped losslessly, and the same (plan, seed) pair always
+reproduces the same event timeline.
+
+Plan-file schema::
+
+    {
+      "seed": 42,
+      "faults": [
+        {"kind": "drive_failure", "target": "disk.3", "at": 1.5},
+        {"kind": "packet_loss", "target": "net", "at": 0.0,
+         "duration": 2.0, "magnitude": 0.05}
+      ]
+    }
+
+``target`` is an fnmatch pattern over component ids. Components
+register as ``disk.<i>``, ``bus.<name>`` (e.g. ``bus.fc_al.a``,
+``bus.fsw.loop0``), ``net`` / ``net.host<i>``, and ``diskos.<i>``;
+``disk.*`` hits every drive.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from math import inf
+from typing import Any, Dict, Iterable, Tuple
+
+__all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
+
+#: Faults active during a time window [at, at + duration).
+WINDOWED_KINDS = frozenset({
+    "drive_slowdown",
+    "bus_transient",
+    "loop_outage",
+    "packet_loss",
+    "link_flap",
+    "stream_stall",
+})
+
+#: Faults armed at `at` and consumed by the first matching operation.
+ONESHOT_KINDS = frozenset({
+    "media_error",
+    "latent_sector_error",
+    "disklet_crash",
+})
+
+#: Faults that never clear once injected.
+PERMANENT_KINDS = frozenset({"drive_failure"})
+
+FAULT_KINDS = WINDOWED_KINDS | ONESHOT_KINDS | PERMANENT_KINDS
+
+#: Kinds whose magnitude is a probability in (0, 1].
+_PROBABILITY_KINDS = frozenset({"bus_transient", "packet_loss"})
+
+#: Kinds that only make sense with a finite window (a permanent outage
+#: would hang every sender, which defeats "degraded, not dead").
+_FINITE_WINDOW_KINDS = frozenset({"loop_outage", "link_flap", "stream_stall"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    magnitude means: slowdown factor (``drive_slowdown``, > 1), error
+    probability (``bus_transient`` / ``packet_loss``), or read-retry
+    count (``media_error`` / ``latent_sector_error``; 0 = drive
+    default). ``lbn`` targets a sector for media faults.
+    """
+
+    kind: str
+    target: str
+    at: float = 0.0
+    duration: float = 0.0
+    magnitude: float = 0.0
+    lbn: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {', '.join(sorted(FAULT_KINDS))}")
+        if not self.target:
+            raise ValueError("fault target pattern must be non-empty")
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if self.kind in _FINITE_WINDOW_KINDS and self.duration <= 0:
+            raise ValueError(f"{self.kind} needs a duration > 0")
+        if self.kind in _PROBABILITY_KINDS and not 0 < self.magnitude <= 1:
+            raise ValueError(
+                f"{self.kind} magnitude is a probability in (0, 1], "
+                f"got {self.magnitude}")
+        if self.kind == "drive_slowdown" and self.magnitude <= 1:
+            raise ValueError(
+                f"drive_slowdown magnitude is a factor > 1, "
+                f"got {self.magnitude}")
+        if self.kind in ("media_error", "latent_sector_error"):
+            if self.magnitude < 0 or self.magnitude != int(self.magnitude):
+                raise ValueError(
+                    f"{self.kind} magnitude is a whole retry count, "
+                    f"got {self.magnitude}")
+        if self.lbn < 0:
+            raise ValueError(f"lbn must be >= 0, got {self.lbn}")
+
+    @property
+    def end(self) -> float:
+        """When the fault clears (inf for permanent/one-shot kinds)."""
+        if self.kind in WINDOWED_KINDS:
+            return self.at + self.duration
+        return inf
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        return {k: v for k, v in data.items()
+                if v or k in ("kind", "target")}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        unknown = set(data) - {"kind", "target", "at", "duration",
+                               "magnitude", "lbn"}
+        if unknown:
+            raise ValueError(
+                f"unknown fault spec fields: {', '.join(sorted(unknown))}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults plus the injector seed."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"expected FaultSpec, got {type(spec).__name__}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @classmethod
+    def of(cls, *specs: FaultSpec, seed: int = 0) -> "FaultPlan":
+        return cls(specs=specs, seed=seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed,
+                "faults": [spec.to_dict() for spec in self.specs]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        unknown = set(data) - {"seed", "faults"}
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan fields: {', '.join(sorted(unknown))}")
+        faults = data.get("faults", ())
+        if not isinstance(faults, Iterable) or isinstance(faults, (str, bytes)):
+            raise ValueError("'faults' must be a list of fault specs")
+        return cls(specs=tuple(FaultSpec.from_dict(item) for item in faults),
+                   seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")

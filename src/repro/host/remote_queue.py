@@ -13,9 +13,15 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..faults.errors import QueueTimeout
+from ..faults.policies import RetryPolicy
 from ..sim import Event, Simulator, Store
 
-__all__ = ["RemoteQueue"]
+__all__ = ["RemoteQueue", "ACQUIRE_RETRY"]
+
+#: Default bounded-wait schedule for :meth:`RemoteQueue.acquire_slot_with`.
+ACQUIRE_RETRY = RetryPolicy(max_attempts=8, base_delay=100e-6, factor=2.0,
+                            max_delay=10e-3)
 
 
 class RemoteQueue:
@@ -37,6 +43,7 @@ class RemoteQueue:
         self._store = Store(sim, capacity=capacity, name=name)
         self.enqueued = 0
         self.dequeued = 0
+        self.timeouts = 0
         self.high_watermark = 0
 
     def __len__(self) -> int:
@@ -76,6 +83,26 @@ class RemoteQueue:
         yield self._store.put(None)
         self.enqueued += 1
         self.high_watermark = max(self.high_watermark, len(self._store))
+
+    def acquire_slot_with(self, retry: RetryPolicy = ACQUIRE_RETRY,
+                          ) -> Generator[Event, Any, None]:
+        """Bounded-wait :meth:`acquire_slot`: poll with exponential backoff.
+
+        Unlike the blocking acquire, a sender stuck behind a receiver
+        that stopped draining (crashed worker, stalled stream) gives up
+        after ``retry.max_attempts`` polls and raises
+        :class:`~repro.faults.QueueTimeout` so the caller can reroute
+        instead of hanging forever.
+        """
+        for attempt in range(retry.max_attempts):
+            if self.try_enqueue(None):
+                if attempt > 0:
+                    self.sim.faults.note("faults.host.queue_backoffs", attempt)
+                return
+            yield self.sim.timeout(retry.delay(attempt))
+        self.timeouts += 1
+        self.sim.faults.note("faults.host.queue_timeouts")
+        raise QueueTimeout(self.name)
 
     def release_slot(self) -> None:
         """Free a slot reserved with :meth:`acquire_slot`."""

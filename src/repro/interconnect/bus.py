@@ -15,9 +15,14 @@ from __future__ import annotations
 
 from typing import Any, Generator, List, Optional
 
+from ..faults.policies import RetryPolicy
 from ..sim import Counter, Event, Server, Simulator, Tally
 
 __all__ = ["SerialBus", "BusGroup", "dual_fc_al"]
+
+#: Backoff for FCP-style retries after a transient bus error.
+BUS_RETRY = RetryPolicy(max_attempts=4, base_delay=50e-6, factor=2.0,
+                        max_delay=1e-3)
 
 MB = 1_000_000
 
@@ -55,6 +60,9 @@ class SerialBus:
         self.server = Server(sim, capacity=capacity, name=name)
         self.bytes_moved = Counter(f"{name}.bytes")
         self.transfer_times = Tally(f"{name}.latency")
+        self.faults = None
+        if sim.faults.enabled:
+            self.faults = sim.faults.register(f"bus.{name}")
 
     def occupancy(self) -> int:
         """Transfers in service plus waiting."""
@@ -70,15 +78,43 @@ class SerialBus:
         return self.startup + nbytes / self.rate
 
     def transfer(self, nbytes: int) -> Generator[Event, Any, None]:
-        """Move ``nbytes`` across the bus (blocking generator)."""
+        """Move ``nbytes`` across the bus (blocking generator).
+
+        With a fault plan armed, a ``loop_outage`` window blocks the
+        sender until the segment comes back, and ``bus_transient``
+        errors are recovered in place: each hit costs an FCP-style
+        backoff plus a full re-transfer (see :data:`BUS_RETRY`).
+        """
         began = self.sim.now
+        fp = self.faults
+        if fp is not None and fp.active:
+            yield from fp.wait_out(self.sim, kinds=("loop_outage",),
+                                   counter="faults.bus.outage_waits")
         tel = self.sim.telemetry
         if tel.enabled:
             yield from self._traced_transfer(tel, nbytes, began)
         else:
             yield from self.server.serve(self.hold_time(nbytes))
+        if fp is not None and fp.active:
+            yield from self._transient_retries(fp, nbytes)
         self.bytes_moved.add(nbytes)
         self.transfer_times.observe(self.sim.now - began)
+
+    def _transient_retries(self, fp, nbytes: int):
+        """Re-arbitrate and re-send while transient errors hit the wire."""
+        probability = fp.probability("bus_transient")
+        if probability <= 0:
+            return
+        for attempt in range(BUS_RETRY.max_attempts):
+            if fp.rng.random() >= probability:
+                return
+            fp.note("faults.bus.transients")
+            fp.note("faults.bus.retries")
+            yield self.sim.timeout(BUS_RETRY.delay(attempt))
+            yield from self.server.serve(self.hold_time(nbytes))
+        # Persistent corruption: stop modelling individual retries and
+        # let the (already charged) transfers stand as the recovery cost.
+        fp.note("faults.bus.retry_exhausted")
 
     def _traced_transfer(self, tel, nbytes: int,
                          began: float) -> Generator[Event, Any, None]:

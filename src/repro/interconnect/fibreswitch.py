@@ -65,6 +65,11 @@ class FibreSwitch:
         ]
         self.crossings = Counter(f"{name}.crossings")
         self.transfer_times = Tally(f"{name}.latency")
+        # Loops self-register as `bus.<name>.loop<i>`; this port covers
+        # the crossbar itself (a loop_outage here stalls crossings only).
+        self.faults = None
+        if sim.faults.enabled:
+            self.faults = sim.faults.register(f"bus.{name}")
 
     def segment_of(self, device: int) -> int:
         """Loop index a device is attached to."""
@@ -89,6 +94,10 @@ class FibreSwitch:
             yield from src_loop.transfer(nbytes)
         else:
             yield from src_loop.transfer(nbytes)
+            if self.faults is not None and self.faults.active:
+                yield from self.faults.wait_out(
+                    self.sim, kinds=("loop_outage",),
+                    counter="faults.bus.outage_waits")
             self.crossings.add()
             if tel.enabled:
                 tel.spans.instant(

@@ -17,10 +17,17 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 
+from ..faults.policies import RetryPolicy, TimeoutPolicy
 from ..sim import Event, Server, Simulator
 from .network import Network
 
 __all__ = ["Message", "Mailbox", "Messaging", "ANY_TAG"]
+
+#: Host-level ack deadline per reliable-send attempt.
+SEND_TIMEOUT = TimeoutPolicy(timeout=50e-3, factor=2.0, max_timeout=1.0)
+#: Bounded resend schedule for reliable sends.
+SEND_RETRY = RetryPolicy(max_attempts=4, base_delay=5e-3, factor=2.0,
+                         max_delay=100e-3)
 
 #: Wildcard receive tag (matches any message), like MPI_ANY_TAG.
 ANY_TAG = object()
@@ -117,6 +124,40 @@ class Messaging:
              payload: Any = None) -> Generator[Event, Any, None]:
         """Blocking send (generator): returns once delivered."""
         yield self.isend(src, dst, tag, nbytes, payload)
+
+    def send_reliable(self, src: int, dst: int, tag: Any, nbytes: int,
+                      payload: Any = None,
+                      timeout: TimeoutPolicy = SEND_TIMEOUT,
+                      retry: RetryPolicy = SEND_RETRY,
+                      ) -> Generator[Event, Any, bool]:
+        """Blocking send with an ack deadline and bounded resends.
+
+        Each attempt is given ``timeout.timeout_for(attempt)`` simulated
+        seconds to deliver (the transport's own loss recovery usually
+        makes this moot; the deadline covers link flaps that outlast the
+        retransmit budget). A timed-out attempt backs off per ``retry``
+        and re-sends. Returns True once any attempt delivers, False if
+        the retry budget runs dry — the caller decides what a lost
+        message means. Late deliveries of timed-out attempts land in the
+        destination mailbox as duplicates, exactly like a real resend
+        protocol without sequence numbers.
+        """
+        attempt = 0
+        faults = self.sim.faults
+        while True:
+            done = self.isend(src, dst, tag, nbytes, payload)
+            deadline = self.sim.timeout(timeout.timeout_for(attempt))
+            fired, _ = yield self.sim.any_of([done, deadline])
+            if fired is done:
+                if attempt > 0:
+                    faults.note("faults.net.recovered_sends")
+                return True
+            attempt += 1
+            faults.note("faults.net.send_timeouts")
+            if attempt >= retry.max_attempts:
+                faults.note("faults.net.aborted_sends")
+                return False
+            yield self.sim.timeout(retry.delay(attempt))
 
     def recv(self, host: int,
              tag: Any = ANY_TAG) -> Generator[Event, Any, Message]:

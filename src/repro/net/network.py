@@ -19,10 +19,15 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from ..faults.policies import RetryPolicy
 from ..sim import Counter, Event, Simulator, Tally
 from .topology import EthernetParams, FatTree
 
 __all__ = ["Network"]
+
+#: Backoff for TCP-style retransmits after a lost message.
+NET_RETRY = RetryPolicy(max_attempts=6, base_delay=200e-6, factor=2.0,
+                        max_delay=20e-3)
 
 
 class Network:
@@ -51,6 +56,50 @@ class Network:
         if tel.enabled:
             tel.registry.bind("net.messages.in_flight",
                               lambda: float(self.in_flight))
+        # Fabric-wide port ("net": packet loss / link flap for everyone)
+        # plus one per host NIC ("net.host<i>"), registered eagerly so
+        # the plan can be armed before the run starts.
+        self.faults = None
+        self._host_faults = []
+        if self.sim.faults.enabled:
+            self.faults = self.sim.faults.register("net")
+            self._host_faults = [
+                self.sim.faults.register(f"net.host{i}")
+                for i in range(tree.num_hosts)
+            ]
+
+    def _endpoint_faults(self, src: int, dst: int):
+        """Fault ports a message from src to dst is exposed to."""
+        return (self.faults, self._host_faults[src], self._host_faults[dst])
+
+    def _fault_delays(self, src: int, dst: int):
+        """Hold the message while any involved link is flapping."""
+        for port in self._endpoint_faults(src, dst):
+            if port.active:
+                yield from port.wait_out(self.sim, kinds=("link_flap",),
+                                         counter="faults.net.flap_waits")
+
+    def _retransmits(self, src: int, dst: int, nbytes: int):
+        """TCP-style bounded retransmits while packet loss is active."""
+        survive = 1.0
+        for port in self._endpoint_faults(src, dst):
+            if port.active:
+                survive *= 1.0 - port.probability("packet_loss")
+        loss = 1.0 - survive
+        if loss <= 0:
+            return
+        rng = self.faults.rng
+        # A lost message costs a backoff plus re-sending one transfer
+        # unit (the whole message, or one frame in MTU mode).
+        unit = nbytes if self.mtu is None else min(nbytes, self.mtu)
+        for attempt in range(NET_RETRY.max_attempts):
+            if rng.random() >= loss:
+                return
+            self.faults.note("faults.net.lost_messages")
+            self.faults.note("faults.net.retransmits")
+            yield self.sim.timeout(NET_RETRY.delay(attempt))
+            yield from self._path_hop(src, dst, unit)
+        self.faults.note("faults.net.retry_exhausted")
 
     def _path_hop(self, src: int, dst: int, nbytes: int):
         """One store-and-forward traversal of the path for one unit."""
@@ -80,6 +129,8 @@ class Network:
         self.in_flight += 1
         try:
             if src != dst and nbytes > 0:
+                if self.faults is not None:
+                    yield from self._fault_delays(src, dst)
                 if self.mtu is None or nbytes <= self.mtu:
                     yield from self._path_hop(src, dst, nbytes)
                 else:
@@ -91,6 +142,8 @@ class Network:
                         frames.append(self.sim.process(
                             self._path_hop(src, dst, frame), name="frame"))
                     yield self.sim.all_of(frames)
+                if self.faults is not None:
+                    yield from self._retransmits(src, dst, nbytes)
         finally:
             self.in_flight -= 1
         self.messages.add()

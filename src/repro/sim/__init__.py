@@ -6,6 +6,7 @@ from .core import (
     Event,
     Interrupt,
     Process,
+    SimStalled,
     SimulationError,
     Simulator,
     Timeout,
@@ -17,7 +18,7 @@ from .trace import TraceEntry, TraceLog
 
 __all__ = [
     "Simulator", "Event", "Timeout", "Process", "AllOf", "AnyOf",
-    "Interrupt", "SimulationError",
+    "Interrupt", "SimulationError", "SimStalled",
     "Server", "Mutex", "Store", "ProcessPool",
     "Counter", "Tally", "TimeWeighted", "BusyTracker", "StatSet",
     "TraceLog", "TraceEntry", "Sampler", "sparkline",

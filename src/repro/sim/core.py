@@ -40,11 +40,31 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "SimStalled",
 ]
 
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation kernel."""
+
+
+class SimStalled(SimulationError):
+    """The event queue drained while processes were still waiting.
+
+    Raised by :meth:`Simulator.run` when no event can ever fire again
+    but live (non-daemon) processes exist — a deadlock. The ``blocked``
+    attribute lists the stuck process names so the failure is
+    diagnosable instead of a silent early exit.
+    """
+
+    def __init__(self, blocked: List[str]):
+        shown = ", ".join(blocked[:8])
+        if len(blocked) > 8:
+            shown += f", ... ({len(blocked) - 8} more)"
+        super().__init__(
+            f"simulation stalled: event queue is empty but {len(blocked)} "
+            f"process(es) are still waiting: {shown}")
+        self.blocked = blocked
 
 
 class Interrupt(Exception):
@@ -166,16 +186,21 @@ class Process(Event):
     waiting on it, or aborts the simulation run otherwise).
     """
 
-    __slots__ = ("generator", "name", "_target")
+    __slots__ = ("generator", "name", "daemon", "_target")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None, daemon: bool = False):
         if not hasattr(generator, "send"):
             raise SimulationError(
                 f"process() requires a generator, got {generator!r}")
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        # Daemon processes (idle service loops) may legitimately outlive
+        # the run; only non-daemons count for stall detection.
+        self.daemon = daemon
+        if not daemon:
+            sim._alive.add(self)
         self._target: Optional[Event] = None
         # Bootstrap: resume the generator as soon as the simulation runs.
         init = Event(sim)
@@ -223,10 +248,12 @@ class Process(Event):
                 target = self.generator.send(value)
         except StopIteration as stop:
             self.sim._active_process = None
+            self.sim._alive.discard(self)
             self.succeed(stop.value)
             return
         except BaseException as exc:
             self.sim._active_process = None
+            self.sim._alive.discard(self)
             self.fail(exc)
             return
         self.sim._active_process = None
@@ -286,6 +313,11 @@ class AllOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self._triggered:
+            # The condition already fired (or failed); a component that
+            # fails afterwards must still be defused or its exception
+            # would abort the whole simulation with no waiter to catch it.
+            if not event.ok:
+                event._defused = True
             return
         if not event.ok:
             event._defused = True
@@ -303,6 +335,8 @@ class AnyOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self._triggered:
+            if not event.ok:
+                event._defused = True
             return
         if not event.ok:
             event._defused = True
@@ -327,9 +361,15 @@ class Simulator:
         Defaults to the no-op :data:`~repro.telemetry.NULL_TELEMETRY`;
         install a real :class:`~repro.telemetry.Telemetry` (before
         building components) to capture spans and metrics.
+    faults:
+        The fault injector component models register ports with.
+        Defaults to the no-op :data:`~repro.faults.NULL_FAULTS`; install
+        a real :class:`~repro.faults.FaultInjector` (before building
+        components) to arm a fault plan.
     """
 
     def __init__(self, trace: Optional[Callable[[float, Event], None]] = None):
+        from ..faults import NULL_FAULTS
         from ..telemetry import NULL_TELEMETRY
         self._now = 0.0
         self._queue: List = []
@@ -338,7 +378,9 @@ class Simulator:
         self._trace = trace
         self.event_count = 0
         self.telemetry = NULL_TELEMETRY
+        self.faults = NULL_FAULTS
         self._hooks: List[Any] = []
+        self._alive: set = set()
 
     # -- lifecycle hooks ---------------------------------------------------
     def add_hook(self, hook: Any) -> None:
@@ -380,9 +422,14 @@ class Simulator:
         return Timeout(self, delay, value)
 
     def process(self, generator: ProcessGenerator,
-                name: Optional[str] = None) -> Process:
-        """Start a new process from ``generator``."""
-        return Process(self, generator, name=name)
+                name: Optional[str] = None, daemon: bool = False) -> Process:
+        """Start a new process from ``generator``.
+
+        Daemon processes (``daemon=True``) are service loops that may
+        idle forever; they are excluded from :class:`SimStalled`
+        deadlock detection.
+        """
+        return Process(self, generator, name=name, daemon=daemon)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Composite event that fires when all ``events`` fire."""
@@ -416,7 +463,17 @@ class Simulator:
             raise event.value
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the event queue drains or the clock reaches ``until``."""
+        """Run until the event queue drains or the clock reaches ``until``.
+
+        Raises
+        ------
+        SimStalled
+            If an unbounded run (``until is None``) drains the queue
+            while non-daemon processes are still waiting: nothing can
+            ever wake them, so the simulation has deadlocked. Bounded
+            runs skip the check — waiters may legitimately be resumed
+            by events triggered between ``run(until=...)`` calls.
+        """
         if until is not None and until < self._now:
             raise SimulationError(
                 f"run(until={until}) is in the past (now={self._now})")
@@ -427,6 +484,8 @@ class Simulator:
                     self._now = until
                     return
                 self.step()
+            if until is None and self._alive:
+                raise SimStalled(sorted(p.name for p in self._alive))
             if until is not None:
                 self._now = until
         finally:

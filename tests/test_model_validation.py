@@ -6,9 +6,13 @@ The paper's simulator components were validated against hardware
 forms the specifications imply — the same discipline, one level down.
 """
 
+import copy
+
 import pytest
 
+from repro.arch import ActiveDiskConfig, ClusterConfig, SMPConfig
 from repro.disk import DiskDrive, HITACHI_DK3E1T91, SEAGATE_ST39102
+from repro.disk.geometry import DiskGeometry
 from repro.disk.validation import (
     expected_random_read_time,
     expected_sequential_rate,
@@ -142,3 +146,76 @@ class TestNetworkValidation:
         goodput = 4 * count * size / sim.now
         assert goodput == pytest.approx(
             tree.params.host_link_rate, rel=0.05)
+
+
+class TestConfigValidation:
+    """Bad architecture parameters must fail loudly at construction."""
+
+    @pytest.mark.parametrize("kwargs,needle", [
+        (dict(num_disks=0), "at least one disk"),
+        (dict(io_request_bytes=100), "one sector"),
+        (dict(queue_depth=0), "queue depth"),
+        (dict(drive_overrides=((7, SEAGATE_ST39102),), num_disks=4),
+         "out of range"),
+        (dict(disk_cpu_mhz=0), "disk_cpu_mhz"),
+        (dict(disk_memory_bytes=-1), "disk_memory_bytes"),
+        (dict(interconnect_rate=0.0), "interconnect_rate"),
+        (dict(interconnect_loops=0), "interconnect_loops"),
+        (dict(interconnect_kind="token-ring"), "interconnect kind"),
+        (dict(switch_segments=0), "switch_segments"),
+        (dict(frontend_cpu_mhz=-450.0), "frontend_cpu_mhz"),
+        (dict(frontend_pci_rate=0), "frontend_pci_rate"),
+    ])
+    def test_active_disk_rejects(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            ActiveDiskConfig(**kwargs)
+
+    @pytest.mark.parametrize("kwargs,needle", [
+        (dict(node_cpu_mhz=0), "node_cpu_mhz"),
+        (dict(node_memory_bytes=0), "node_memory_bytes"),
+        (dict(node_usable_memory=0), "node_usable_memory"),
+        (dict(node_usable_memory=256_000_000), "exceeds"),
+        (dict(pci_rate=-1), "pci_rate"),
+        (dict(scsi_rate=0), "scsi_rate"),
+        (dict(async_receives=0), "async_receives"),
+    ])
+    def test_cluster_rejects(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            ClusterConfig(**kwargs)
+
+    @pytest.mark.parametrize("kwargs,needle", [
+        (dict(cpu_mhz=0), "cpu_mhz"),
+        (dict(cpus_per_board=0), "cpus_per_board"),
+        (dict(memory_per_board=0), "memory_per_board"),
+        (dict(numa_latency=-1e-6), "numa_latency"),
+        (dict(numa_link_rate=0), "numa_link_rate"),
+        (dict(bte_rate=0), "bte_rate"),
+        (dict(xio_nodes=0), "xio_nodes"),
+        (dict(xio_total_rate=0), "xio_total_rate"),
+        (dict(io_interconnect_rate=0), "io_interconnect_rate"),
+        (dict(io_interconnect_loops=0), "io_interconnect_loops"),
+        (dict(stripe_chunk_bytes=256), "stripe_chunk_bytes"),
+        (dict(spinlock_cost=-1.0), "spinlock_cost"),
+    ])
+    def test_smp_rejects(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            SMPConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        ActiveDiskConfig()
+        ClusterConfig()
+        SMPConfig()
+
+
+class TestGeometryValidation:
+    def test_rejects_non_drivespec(self):
+        with pytest.raises(ValueError, match="DriveSpec"):
+            DiskGeometry(object())
+
+    def test_rejects_fewer_cylinders_than_zones(self):
+        # DriveSpec validates zones <= cylinders itself, so sneak a
+        # corrupt copy past it to prove the geometry double-checks.
+        bad = copy.copy(SEAGATE_ST39102)
+        object.__setattr__(bad, "cylinders", bad.zones - 1)
+        with pytest.raises(ValueError, match="fewer cylinders"):
+            DiskGeometry(bad)
