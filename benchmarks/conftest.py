@@ -29,8 +29,11 @@ def results_dir():
 
 @pytest.fixture(scope="session")
 def save_report(results_dir):
+    """Persist a text report crash-safely (tmp file + atomic rename)."""
+    from repro.experiments import atomic_write_text
+
     def _save(name: str, text: str) -> None:
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(str(results_dir / f"{name}.txt"), text + "\n")
         print(f"\n{text}\n")
     return _save
 
@@ -38,8 +41,17 @@ def save_report(results_dir):
 @pytest.fixture(scope="session")
 def save_rows(results_dir):
     """Persist structured rows as CSV next to the text reports."""
-    from repro.experiments import rows_to_csv
+    from repro.experiments import atomic_write_text, rows_to_csv
 
     def _save(name: str, rows) -> None:
-        (results_dir / f"{name}.csv").write_text(rows_to_csv(rows))
+        atomic_write_text(str(results_dir / f"{name}.csv"),
+                          rows_to_csv(rows))
     return _save
+
+
+@pytest.fixture(scope="session", autouse=True)
+def refresh_manifest(results_dir):
+    """Re-checksum results/ after the benchmark session's writes."""
+    yield
+    from repro.experiments import write_manifest
+    write_manifest(str(results_dir))

@@ -5,28 +5,47 @@ commodity cluster and the SMP at several farm sizes, and prints
 execution times normalized to Active Disks — the paper's headline
 comparison.
 
+The sweep goes through the resilient harness: pass ``--jobs`` to run
+cells in parallel worker processes, and ``--journal`` to make the sweep
+resumable — kill it mid-run and the same command (or
+``python -m repro resume <journal>``) picks up where it left off.
+
 Run:  python examples/architecture_faceoff.py [task ...]
       python examples/architecture_faceoff.py sort groupby
+      python examples/architecture_faceoff.py --jobs 4 \\
+          --journal results/faceoff.journal.jsonl
 """
 
-import sys
+import argparse
 
 from repro import registered_tasks
-from repro.experiments import run_fig1
+from repro.experiments import SweepRunner, run_fig1
 
 SCALE = 1 / 64
 SIZES = (16, 64, 128)
 
 
-def main(argv):
-    tasks = tuple(argv) or ("select", "groupby", "sort")
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("tasks", nargs="*",
+                        default=["select", "groupby", "sort"])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes (default 1)")
+    parser.add_argument("--journal", default=None,
+                        help="journal path; makes the sweep resumable")
+    args = parser.parse_args(argv)
+
+    tasks = tuple(args.tasks)
     unknown = set(tasks) - set(registered_tasks())
     if unknown:
         raise SystemExit(f"unknown tasks: {', '.join(sorted(unknown))}; "
                          f"choose from {', '.join(registered_tasks())}")
+    runner = None
+    if args.jobs > 1 or args.journal:
+        runner = SweepRunner(args.journal, jobs=args.jobs, retries=1)
     print(f"Running {', '.join(tasks)} on {SIZES} disks "
           f"(scale {SCALE:g})...\n")
-    figure = run_fig1(sizes=SIZES, tasks=tasks, scale=SCALE)
+    figure = run_fig1(sizes=SIZES, tasks=tasks, scale=SCALE, runner=runner)
     print(figure.render())
     print()
     for task in tasks:
@@ -34,7 +53,11 @@ def main(argv):
             f"{figure.normalized(task, 'smp', size):.1f}x"
             for size in SIZES)
         print(f"{task}: SMP falls behind as the farm grows: {trend}")
+    if runner is not None:
+        resumed = runner.counters["resumed_cells"]
+        print(f"\nharness: {runner.counters['completed']} cells run, "
+              f"{resumed} reloaded from the journal")
 
 
 if __name__ == "__main__":
-    main(sys.argv[1:])
+    main()

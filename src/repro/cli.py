@@ -8,11 +8,21 @@ Examples::
     python -m repro fig1 --sizes 16,64 --tasks select,sort --scale 1/64
     python -m repro fig3
     python -m repro table1
+    python -m repro doctor
+    python -m repro sweep fig1 --jobs 4 --retries 1 --scale 1/64
+    python -m repro resume results/fig1.journal.jsonl
+
+``sweep`` runs a figure grid through the resilient harness: progress is
+journaled, workers are process-isolated (``--jobs``), hung cells time
+out (``--timeout``), failing cells retry then quarantine (``--retries``),
+and a killed sweep picks up where it left off via ``resume`` (see
+``docs/HARNESS.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -33,6 +43,16 @@ from .workloads import registered_tasks
 __all__ = ["main", "parse_scale"]
 
 DEFAULT_SCALE = "1/32"
+
+#: Figure sweeps the harness commands know how to run and resume:
+#: name -> (driver kwargs builder support for tasks?, default sizes).
+FIG_SWEEPS = {
+    "fig1": (16, 32, 64, 128),
+    "fig2": (64, 128),
+    "fig3": (16, 32, 64, 128),
+    "fig4": (16, 32, 64, 128),
+    "fig5": (32, 64, 128),
+}
 
 
 def parse_scale(text: str) -> float:
@@ -143,6 +163,34 @@ def build_parser() -> argparse.ArgumentParser:
     degraded.add_argument("--scale", type=parse_scale, default=DEFAULT_SCALE)
     degraded.add_argument("--seed", type=int, default=0)
 
+    sweep = sub.add_parser(
+        "sweep", help="run a figure grid through the resilient harness "
+                      "(journaled, resumable, process-isolated)")
+    sweep.add_argument("figure", choices=sorted(FIG_SWEEPS))
+    sweep.add_argument("--sizes", type=_parse_sizes, default=None)
+    sweep.add_argument("--tasks", type=_parse_tasks, default=None,
+                       help="task subset (ignored by fig3)")
+    sweep.add_argument("--scale", type=parse_scale, default=DEFAULT_SCALE)
+    sweep.add_argument("--journal", metavar="FILE", default=None,
+                       help="journal path (default "
+                            "<out-dir>/<figure>.journal.jsonl)")
+    sweep.add_argument("--out-dir", default="results",
+                       help="directory for .txt/.csv artifacts and "
+                            "MANIFEST.json (default results)")
+    _add_harness_flags(sweep)
+
+    resume = sub.add_parser(
+        "resume", help="resume an interrupted sweep from its journal")
+    resume.add_argument("journal", help="the sweep's .journal.jsonl file")
+    resume.add_argument("--out-dir", default=None,
+                        help="rewrite figure artifacts here on completion "
+                             "(default: the journal's directory)")
+    _add_harness_flags(resume)
+
+    sub.add_parser(
+        "doctor", help="check the environment and smoke-simulate one "
+                       "second on each architecture")
+
     for name, helptext, extras in (
             ("fig1", "architecture comparison (Figure 1)", "sizes tasks"),
             ("fig2", "interconnect bandwidth (Figure 2)", "sizes tasks"),
@@ -163,6 +211,19 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "table1":
             cmd.add_argument("--disks", type=int, default=64)
     return parser
+
+
+def _add_harness_flags(cmd) -> None:
+    cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes; > 1 isolates each cell in "
+                          "its own subprocess (default 1)")
+    cmd.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock timeout (implies process "
+                          "isolation; default none)")
+    cmd.add_argument("--retries", type=int, default=1, metavar="K",
+                     help="retry attempts before a cell is quarantined "
+                          "(default 1)")
 
 
 def _scale_value(args) -> float:
@@ -246,6 +307,143 @@ def _command_degraded(args) -> str:
     return "\n".join(lines)
 
 
+def _run_figure_sweep(figure: str, sizes, tasks, scale: float,
+                      journal: Optional[str], out_dir: str,
+                      jobs: int, timeout: Optional[float],
+                      retries: int) -> str:
+    """Run one figure through the harness and write crash-safe artifacts."""
+    from .experiments import (
+        SweepRunner,
+        fig1_rows, fig2_rows, fig3_rows, fig4_rows, fig5_rows,
+        run_fig1, run_fig2, run_fig3, run_fig4, run_fig5,
+        rows_to_csv,
+    )
+    from .experiments.artifacts import atomic_write_text, write_manifest
+
+    drivers = {
+        "fig1": (run_fig1, fig1_rows, True),
+        "fig2": (run_fig2, fig2_rows, True),
+        "fig3": (run_fig3, fig3_rows, False),
+        "fig4": (run_fig4, fig4_rows, True),
+        "fig5": (run_fig5, fig5_rows, True),
+    }
+    run_fn, rows_fn, takes_tasks = drivers[figure]
+    sizes = tuple(sizes or FIG_SWEEPS[figure])
+    os.makedirs(out_dir, exist_ok=True)
+    if journal is None:
+        journal = os.path.join(out_dir, f"{figure}.journal.jsonl")
+    meta = {"figure": figure, "sizes": list(sizes), "scale": scale,
+            "out_dir": out_dir}
+    kwargs = {"sizes": sizes, "scale": scale}
+    if takes_tasks:
+        kwargs["tasks"] = tuple(tasks) if tasks else None
+        if tasks:
+            meta["tasks"] = list(tasks)
+    runner = SweepRunner(journal, jobs=jobs, timeout=timeout,
+                         retries=retries, meta=meta)
+    result = run_fn(runner=runner, **kwargs)
+    text = result.render()
+    atomic_write_text(os.path.join(out_dir, f"{figure}.txt"), text + "\n")
+    atomic_write_text(os.path.join(out_dir, f"{figure}.csv"),
+                      rows_to_csv(rows_fn(result)))
+    write_manifest(out_dir)
+    counters = ", ".join(f"{name}={value}"
+                         for name, value in runner.counters.items() if value)
+    return (f"{text}\n\n"
+            f"harness: {counters or 'nothing to do'}\n"
+            f"journal: {journal}\n"
+            f"artifacts: {out_dir}/{figure}.txt, {out_dir}/{figure}.csv "
+            f"(checksums in {out_dir}/MANIFEST.json)")
+
+
+def _command_sweep(args) -> str:
+    return _run_figure_sweep(
+        args.figure, args.sizes, args.tasks, _scale_value(args),
+        args.journal, args.out_dir, args.jobs, args.timeout, args.retries)
+
+
+def _command_resume(args) -> str:
+    from .experiments import SweepJournal, resume_sweep
+
+    journal = SweepJournal.load(args.journal)
+    meta = journal.meta
+    if meta.get("figure") in FIG_SWEEPS:
+        out_dir = args.out_dir or meta.get("out_dir") or (
+            os.path.dirname(args.journal) or ".")
+        return _run_figure_sweep(
+            meta["figure"], meta.get("sizes"), meta.get("tasks"),
+            meta.get("scale", parse_scale(DEFAULT_SCALE)),
+            args.journal, out_dir, args.jobs, args.timeout, args.retries)
+    # A journal without driver metadata: just complete its cells.
+    _, results = resume_sweep(args.journal, jobs=args.jobs,
+                              timeout=args.timeout, retries=args.retries)
+    lines = [f"resumed {args.journal}: {len(results)} cell(s) complete"]
+    for key in sorted(results):
+        lines.append(f"  {key}: {results[key].elapsed:.3f}s")
+    return "\n".join(lines)
+
+
+def _command_doctor(args) -> int:
+    """Environment + smoke checks; returns the exit code."""
+    import platform
+    import time
+
+    from .experiments import ARCHITECTURES, CellSpec, run_cell
+
+    checks = []
+
+    version_ok = sys.version_info >= (3, 9)
+    checks.append(("python >= 3.9", version_ok,
+                   platform.python_version()))
+
+    try:
+        from . import __version__
+        checks.append(("repro importable", True, f"v{__version__}"))
+    except Exception as exc:  # pragma: no cover - import already worked
+        checks.append(("repro importable", False, repr(exc)))
+
+    results_dir = "results"
+    try:
+        from .experiments.artifacts import atomic_write_text
+        os.makedirs(results_dir, exist_ok=True)
+        probe = os.path.join(results_dir, ".doctor-probe")
+        atomic_write_text(probe, "ok\n")
+        os.unlink(probe)
+        checks.append((f"{results_dir}/ writable (atomic)", True, ""))
+    except OSError as exc:
+        checks.append((f"{results_dir}/ writable (atomic)", False,
+                       str(exc)))
+
+    import multiprocessing
+    methods = multiprocessing.get_all_start_methods()
+    checks.append(("process isolation available", bool(methods),
+                   ",".join(methods)))
+
+    for arch in ARCHITECTURES:
+        spec = CellSpec(task="select", arch=arch, num_disks=8,
+                        scale=1 / 256)
+        began = time.perf_counter()
+        try:
+            result = run_cell(spec)
+            wall = time.perf_counter() - began
+            checks.append((f"smoke: select on {arch}",
+                           result.elapsed > 0,
+                           f"{result.elapsed:.2f} simulated s in "
+                           f"{wall:.2f}s wall"))
+        except Exception as exc:
+            checks.append((f"smoke: select on {arch}", False, repr(exc)))
+
+    width = max(len(name) for name, _, _ in checks)
+    for name, ok, detail in checks:
+        status = "ok" if ok else "FAIL"
+        line = f"  {name:<{width}}  {status}"
+        print(f"{line}  {detail}" if detail else line)
+    failed = [name for name, ok, _ in checks if not ok]
+    print(f"doctor: {len(checks) - len(failed)}/{len(checks)} checks "
+          f"passed" + (f"; failing: {', '.join(failed)}" if failed else ""))
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -256,6 +454,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "degraded":
         print(_command_degraded(args))
+        return 0
+    if args.command == "doctor":
+        return _command_doctor(args)
+    if args.command in ("sweep", "resume"):
+        from .experiments import SweepInterrupted
+        try:
+            print(_command_sweep(args) if args.command == "sweep"
+                  else _command_resume(args))
+        except SweepInterrupted as exc:
+            print(exc, file=sys.stderr)
+            return 130
+        except ValueError as exc:   # unreadable/empty journal, bad grid
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         return 0
     if args.command == "scorecard":
         from .experiments import run_scorecard

@@ -29,6 +29,21 @@ from .degraded import (
     drive_failure_plan,
     run_degraded_sweep,
 )
+from .artifacts import (
+    atomic_write_text,
+    result_from_dict,
+    result_to_dict,
+    verify_manifest,
+    write_manifest,
+)
+from .harness import (
+    SweepInterrupted,
+    SweepRunner,
+    execute_cells,
+    resume_sweep,
+)
+from .journal import SweepJournal
+from .workers import CellOutcome, CellSpec, build_config, run_cell, run_cells
 from .report import render_bars, render_grouped_bars, render_series, render_table
 from .scorecard import Claim, ClaimResult, paper_claims, run_scorecard
 from .summary import run_all
@@ -55,4 +70,9 @@ __all__ = [
     "run_scorecard", "paper_claims", "Claim", "ClaimResult",
     "run_degraded_sweep", "drive_failure_plan",
     "DegradedCell", "DegradedResult",
+    "SweepRunner", "SweepInterrupted", "SweepJournal",
+    "execute_cells", "resume_sweep",
+    "CellSpec", "CellOutcome", "build_config", "run_cell", "run_cells",
+    "atomic_write_text", "write_manifest", "verify_manifest",
+    "result_to_dict", "result_from_dict",
 ]

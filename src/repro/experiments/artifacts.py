@@ -1,0 +1,216 @@
+"""Crash-safe experiment artifacts: atomic writes, checksummed manifests,
+and a schema-validated :class:`RunResult` JSON round-trip.
+
+A sweep that dies mid-write must never leave a torn CSV/JSON behind, and
+a resumed sweep must be able to trust what an earlier (possibly killed)
+process wrote. Three mechanisms provide that:
+
+* :func:`atomic_write_text` / :func:`atomic_write_bytes` — write to a
+  temporary file in the destination directory, fsync, then ``os.replace``
+  so readers only ever observe the old or the new content, never a mix;
+* ``results/MANIFEST.json`` — a SHA-256 checksum per artifact
+  (:func:`write_manifest` / :func:`verify_manifest`) so corruption or a
+  half-finished generation is detectable after the fact;
+* :func:`result_to_dict` / :func:`result_from_dict` — a versioned,
+  validated JSON encoding of :class:`~repro.arch.RunResult` used by the
+  sweep journal to cache completed cells. Floats survive the round trip
+  exactly (``json`` uses ``repr``), so a reloaded result is bit-identical
+  to the run that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+from ..arch.base import PhaseResult, RunResult
+
+__all__ = [
+    "atomic_write_text", "atomic_write_bytes", "sha256_file",
+    "write_manifest", "load_manifest", "verify_manifest", "MANIFEST_NAME",
+    "result_to_dict", "result_from_dict", "RESULT_SCHEMA_VERSION",
+]
+
+#: Version stamp of the serialized RunResult schema; bumped on any
+#: incompatible change so stale journals fail loudly instead of subtly.
+RESULT_SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+# ------------------------------------------------------------- atomic I/O
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=f".{os.path.basename(path)}.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort durability of the rename itself."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+# --------------------------------------------------------------- manifest
+def sha256_file(path: str, chunk_bytes: int = 1 << 20) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_bytes)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_manifest(directory: str,
+                   names: Optional[Sequence[str]] = None) -> Dict:
+    """(Re)write ``MANIFEST.json`` for artifacts in ``directory``.
+
+    ``names`` restricts the manifest to those relative file names;
+    the default covers every regular file except the manifest itself,
+    journals (``*.journal.jsonl`` — append-only, so never "final") and
+    in-flight temporaries.
+    """
+    directory = os.fspath(directory)
+    if names is None:
+        names = sorted(
+            name for name in os.listdir(directory)
+            if os.path.isfile(os.path.join(directory, name))
+            and name != MANIFEST_NAME
+            and not name.endswith((".tmp", ".journal.jsonl"))
+            and not name.startswith("."))
+    files = {}
+    for name in names:
+        path = os.path.join(directory, name)
+        files[name] = {"sha256": sha256_file(path),
+                       "bytes": os.path.getsize(path)}
+    manifest = {"version": 1, "files": files}
+    atomic_write_text(os.path.join(directory, MANIFEST_NAME),
+                      json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return manifest
+
+
+def load_manifest(directory: str) -> Optional[Dict]:
+    path = os.path.join(os.fspath(directory), MANIFEST_NAME)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def verify_manifest(directory: str) -> List[str]:
+    """Check every manifest entry; return human-readable problems."""
+    manifest = load_manifest(directory)
+    if manifest is None:
+        return [f"no {MANIFEST_NAME} in {directory}"]
+    problems = []
+    for name, entry in sorted(manifest.get("files", {}).items()):
+        path = os.path.join(os.fspath(directory), name)
+        if not os.path.exists(path):
+            problems.append(f"{name}: missing")
+            continue
+        if sha256_file(path) != entry.get("sha256"):
+            problems.append(f"{name}: checksum mismatch")
+    return problems
+
+
+# ------------------------------------------- RunResult JSON round-trip
+def result_to_dict(result: RunResult) -> Dict:
+    """Serialize a :class:`RunResult` to plain JSON-compatible data."""
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "task": result.task,
+        "arch": result.arch,
+        "num_disks": result.num_disks,
+        "elapsed": result.elapsed,
+        "phases": [
+            {"name": phase.name, "elapsed": phase.elapsed,
+             "workers": phase.workers, "busy": dict(phase.busy)}
+            for phase in result.phases
+        ],
+        "extras": dict(result.extras),
+    }
+
+
+def _expect(mapping: Dict, key: str, kinds, where: str):
+    if key not in mapping:
+        raise ValueError(f"{where}: missing field {key!r}")
+    value = mapping[key]
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise ValueError(
+            f"{where}: field {key!r} has type {type(value).__name__}")
+    return value
+
+
+def result_from_dict(data: Dict) -> RunResult:
+    """Validate and rebuild a :class:`RunResult` written by
+    :func:`result_to_dict`; raises :class:`ValueError` on any mismatch."""
+    if not isinstance(data, dict):
+        raise ValueError(f"RunResult: expected object, got "
+                         f"{type(data).__name__}")
+    schema = _expect(data, "schema", int, "RunResult")
+    if schema != RESULT_SCHEMA_VERSION:
+        raise ValueError(f"RunResult: schema version {schema} "
+                         f"(this code reads {RESULT_SCHEMA_VERSION})")
+    phases_raw = _expect(data, "phases", list, "RunResult")
+    phases = []
+    for index, phase in enumerate(phases_raw):
+        where = f"RunResult.phases[{index}]"
+        if not isinstance(phase, dict):
+            raise ValueError(f"{where}: expected object")
+        busy = _expect(phase, "busy", dict, where)
+        for label, value in busy.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{where}: busy[{label!r}] is not numeric")
+        phases.append(PhaseResult(
+            name=_expect(phase, "name", str, where),
+            elapsed=float(_expect(phase, "elapsed", (int, float), where)),
+            workers=_expect(phase, "workers", int, where),
+            busy={str(k): float(v) for k, v in busy.items()},
+        ))
+    extras = _expect(data, "extras", dict, "RunResult")
+    for key, value in extras.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"RunResult: extras[{key!r}] is not numeric")
+    return RunResult(
+        task=_expect(data, "task", str, "RunResult"),
+        arch=_expect(data, "arch", str, "RunResult"),
+        num_disks=_expect(data, "num_disks", int, "RunResult"),
+        elapsed=float(_expect(data, "elapsed", (int, float), "RunResult")),
+        phases=phases,
+        extras={str(k): float(v) for k, v in extras.items()},
+    )

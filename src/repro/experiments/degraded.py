@@ -26,7 +26,9 @@ from typing import Dict, List, Tuple
 
 from ..arch import RunResult
 from ..faults import FaultPlan, FaultSpec
-from .runner import ARCHITECTURES, DEFAULT_SCALE, config_for, run_task
+from .harness import execute_cells
+from .runner import ARCHITECTURES, DEFAULT_SCALE
+from .workers import CellSpec
 
 __all__ = ["DegradedCell", "DegradedResult", "run_degraded_sweep",
            "drive_failure_plan"]
@@ -75,12 +77,19 @@ def run_degraded_sweep(task: str = "select", num_disks: int = 8,
                        failed_disk: int = 1, fail_fraction: float = 0.3,
                        scale: float = DEFAULT_SCALE, seed: int = 0,
                        architectures: Tuple[str, ...] = ARCHITECTURES,
-                       ) -> DegradedResult:
+                       runner=None) -> DegradedResult:
     """Clean + degraded run of ``task`` on every architecture.
 
     ``fail_fraction`` places the drive failure at that fraction of each
     architecture's *own* clean completion time, so every design is hit
     at the same relative point in its run.
+
+    The sweep runs in two journaled stages when a
+    :class:`~repro.experiments.harness.SweepRunner` is supplied: the
+    clean baselines first (their elapsed times position the failures),
+    then the degraded runs. A resumed journal replays both stages from
+    cache, so the computed failure times — and therefore the degraded
+    cells' config hashes — are identical on resume.
     """
     if not 0.0 <= fail_fraction < 1.0:
         raise ValueError(
@@ -88,15 +97,27 @@ def run_degraded_sweep(task: str = "select", num_disks: int = 8,
     result = DegradedResult(task=task, num_disks=num_disks,
                             failed_disk=failed_disk,
                             fail_fraction=fail_fraction)
-    for arch in architectures:
-        config = config_for(arch, num_disks)
-        baseline = run_task(config, task, scale)
-        plan = drive_failure_plan(
-            failed_disk, at=baseline.elapsed * fail_fraction, seed=seed)
-        degraded = run_task(config, task, scale, fault_plan=plan)
+    baseline_specs = [
+        CellSpec(task=task, arch=arch, num_disks=num_disks,
+                 variant="clean", scale=scale)
+        for arch in architectures
+    ]
+    baselines = execute_cells(baseline_specs, runner)
+    degraded_specs = [
+        CellSpec(task=task, arch=arch, num_disks=num_disks,
+                 variant="degraded", scale=scale,
+                 fault_disk=failed_disk,
+                 fault_at=baselines[spec.key].elapsed * fail_fraction,
+                 fault_seed=seed)
+        for arch, spec in zip(architectures, baseline_specs)
+    ]
+    degradeds = execute_cells(degraded_specs, runner)
+    for arch, clean_spec, bad_spec in zip(architectures, baseline_specs,
+                                          degraded_specs):
+        degraded = degradeds[bad_spec.key]
         counters = {key: value for key, value in degraded.extras.items()
                     if key.startswith("faults.")}
         result.cells.append(DegradedCell(
-            arch=arch, baseline=baseline, degraded=degraded,
-            counters=counters))
+            arch=arch, baseline=baselines[clean_spec.key],
+            degraded=degraded, counters=counters))
     return result

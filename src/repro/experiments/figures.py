@@ -5,24 +5,31 @@ result object whose ``render()`` produces the same rows/series the paper
 reports (normalized execution times, percentage improvements, breakdown
 fractions). The benchmark suite wraps these and asserts the paper's
 qualitative shapes; EXPERIMENTS.md records paper-vs-measured values.
+
+Every figure driver declares its sweep as a list of
+:class:`~repro.experiments.workers.CellSpec` and executes it through
+:func:`~repro.experiments.harness.execute_cells`: by default that runs
+the cells inline, in order, in this process (byte-identical to the
+historical drivers), but passing a
+:class:`~repro.experiments.harness.SweepRunner` makes the same sweep
+journaled, resumable and process-parallel (see ``docs/HARNESS.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..arch import (
-    ActiveDiskConfig,
-    SMPConfig,
     cost_table,
     smp_cost_estimate,
 )
 from ..arch.base import RunResult
-from ..disk import HITACHI_DK3E1T91
 from ..workloads import TABLE2, registered_tasks
-from .report import render_series, render_table
-from .runner import DEFAULT_SCALE, Sweep, SweepCell, config_for, run_task
+from .harness import execute_cells
+from .report import render_table
+from .runner import DEFAULT_SCALE, Sweep, SweepCell
+from .workers import CellSpec
 
 __all__ = [
     "run_table1", "run_table2",
@@ -34,7 +41,6 @@ __all__ = [
 ]
 
 CORE_SIZES = (16, 32, 64, 128)
-MB = 1_000_000
 
 
 # ---------------------------------------------------------------- tables
@@ -96,17 +102,21 @@ class Fig1Result:
 
 def run_fig1(sizes: Sequence[int] = CORE_SIZES,
              tasks: Optional[Sequence[str]] = None,
-             scale: float = DEFAULT_SCALE) -> Fig1Result:
+             scale: float = DEFAULT_SCALE, runner=None) -> Fig1Result:
     """Figure 1: all tasks on comparable configurations of all three."""
     tasks = tuple(tasks or registered_tasks())
+    specs = [
+        CellSpec(task=task, arch=arch, num_disks=size, scale=scale)
+        for size in sizes
+        for arch in ("active", "cluster", "smp")
+        for task in tasks
+    ]
+    results = execute_cells(specs, runner)
     sweep = Sweep()
-    for size in sizes:
-        for arch in ("active", "cluster", "smp"):
-            config = config_for(arch, size)
-            for task in tasks:
-                sweep.add(SweepCell(
-                    task=task, arch=arch, num_disks=size, variant="base",
-                    result=run_task(config, task, scale)))
+    for spec in specs:
+        sweep.add(SweepCell(
+            task=spec.task, arch=spec.arch, num_disks=spec.num_disks,
+            variant="base", result=results[spec.key]))
     return Fig1Result(sweep=sweep, sizes=tuple(sizes), tasks=tasks,
                       scale=scale)
 
@@ -147,19 +157,22 @@ class Fig2Result:
 
 def run_fig2(sizes: Sequence[int] = (64, 128),
              tasks: Optional[Sequence[str]] = None,
-             scale: float = DEFAULT_SCALE) -> Fig2Result:
+             scale: float = DEFAULT_SCALE, runner=None) -> Fig2Result:
     """Figure 2: impact of I/O interconnect bandwidth on AD and SMP."""
     tasks = tuple(tasks or registered_tasks())
+    specs = [
+        CellSpec(task=task, arch=arch, num_disks=size, variant=variant,
+                 scale=scale, interconnect_mb=rate_mb)
+        for size in sizes
+        for rate_mb, variant in ((200, "200MB"), (400, "400MB"))
+        for task in tasks
+        for arch in ("active", "smp")
+    ]
+    results = execute_cells(specs, runner)
     sweep = Sweep()
-    for size in sizes:
-        for rate, variant in ((200 * MB, "200MB"), (400 * MB, "400MB")):
-            active = ActiveDiskConfig(num_disks=size).with_interconnect(rate)
-            smp = SMPConfig(num_disks=size).with_interconnect(rate)
-            for task in tasks:
-                sweep.add(SweepCell(task, "active", size, variant,
-                                    run_task(active, task, scale)))
-                sweep.add(SweepCell(task, "smp", size, variant,
-                                    run_task(smp, task, scale)))
+    for spec in specs:
+        sweep.add(SweepCell(spec.task, spec.arch, spec.num_disks,
+                            spec.variant, results[spec.key]))
     return Fig2Result(sweep=sweep, sizes=tuple(sizes), tasks=tasks,
                       scale=scale)
 
@@ -210,19 +223,24 @@ class Fig3Result:
 
 
 def run_fig3(sizes: Sequence[int] = CORE_SIZES,
-             scale: float = DEFAULT_SCALE) -> Fig3Result:
+             scale: float = DEFAULT_SCALE, runner=None) -> Fig3Result:
     """Figure 3: sort phases, plus Fast Disk and Fast I/O variants."""
-    results: Dict[Tuple[int, str], RunResult] = {}
-    for size in sizes:
-        variants = {
-            "base": ActiveDiskConfig(num_disks=size),
-            "fastdisk": ActiveDiskConfig(num_disks=size,
-                                         drive=HITACHI_DK3E1T91),
-            "fastio": ActiveDiskConfig(num_disks=size).with_interconnect(
-                400 * MB),
-        }
-        for variant, config in variants.items():
-            results[(size, variant)] = run_task(config, "sort", scale)
+    variant_fields = {
+        "base": {},
+        "fastdisk": {"drive": "HITACHI_DK3E1T91"},
+        "fastio": {"interconnect_mb": 400},
+    }
+    specs = [
+        CellSpec(task="sort", arch="active", num_disks=size,
+                 variant=variant, scale=scale, **fields)
+        for size in sizes
+        for variant, fields in variant_fields.items()
+    ]
+    executed = execute_cells(specs, runner)
+    results: Dict[Tuple[int, str], RunResult] = {
+        (spec.num_disks, spec.variant): executed[spec.key]
+        for spec in specs
+    }
     return Fig3Result(results=results, sizes=tuple(sizes), scale=scale)
 
 
@@ -265,17 +283,22 @@ class Fig4Result:
 def run_fig4(sizes: Sequence[int] = CORE_SIZES,
              tasks: Optional[Sequence[str]] = None,
              memories_mb: Sequence[int] = (32, 64, 128),
-             scale: float = DEFAULT_SCALE) -> Fig4Result:
+             scale: float = DEFAULT_SCALE, runner=None) -> Fig4Result:
     """Figure 4: impact of Active Disk memory (32/64/128 MB)."""
     tasks = tuple(tasks or registered_tasks())
-    elapsed: Dict[Tuple[str, int, int], float] = {}
-    for size in sizes:
-        for memory in memories_mb:
-            config = ActiveDiskConfig(num_disks=size).with_memory(
-                memory * MB)
-            for task in tasks:
-                elapsed[(task, size, memory)] = run_task(
-                    config, task, scale).elapsed
+    specs = [
+        CellSpec(task=task, arch="active", num_disks=size,
+                 variant=f"mem{memory}", scale=scale, memory_mb=memory)
+        for size in sizes
+        for memory in memories_mb
+        for task in tasks
+    ]
+    results = execute_cells(specs, runner)
+    elapsed: Dict[Tuple[str, int, int], float] = {
+        (spec.task, spec.num_disks, spec.memory_mb):
+            results[spec.key].elapsed
+        for spec in specs
+    }
     return Fig4Result(elapsed=elapsed, sizes=tuple(sizes), tasks=tasks,
                       memories_mb=tuple(memories_mb), scale=scale)
 
@@ -310,17 +333,21 @@ class Fig5Result:
 
 def run_fig5(sizes: Sequence[int] = (32, 64, 128),
              tasks: Optional[Sequence[str]] = None,
-             scale: float = DEFAULT_SCALE) -> Fig5Result:
+             scale: float = DEFAULT_SCALE, runner=None) -> Fig5Result:
     """Figure 5: impact of restricting direct disk-to-disk communication."""
     tasks = tuple(tasks or registered_tasks())
-    elapsed: Dict[Tuple[str, int, str], float] = {}
-    for size in sizes:
-        direct = ActiveDiskConfig(num_disks=size)
-        restricted = direct.restricted()
-        for task in tasks:
-            elapsed[(task, size, "direct")] = run_task(
-                direct, task, scale).elapsed
-            elapsed[(task, size, "restricted")] = run_task(
-                restricted, task, scale).elapsed
+    specs = [
+        CellSpec(task=task, arch="active", num_disks=size, variant=mode,
+                 scale=scale, restricted=(mode == "restricted"))
+        for size in sizes
+        for task in tasks
+        for mode in ("direct", "restricted")
+    ]
+    results = execute_cells(specs, runner)
+    elapsed: Dict[Tuple[str, int, str], float] = {
+        (spec.task, spec.num_disks, spec.variant):
+            results[spec.key].elapsed
+        for spec in specs
+    }
     return Fig5Result(elapsed=elapsed, sizes=tuple(sizes), tasks=tasks,
                       scale=scale)

@@ -1,0 +1,210 @@
+"""The sweep journal: an append-only JSONL record of sweep progress.
+
+Every cell of a sweep moves through a tiny state machine —
+
+    pending -> running -> done
+                       -> failed (attempt n; retried)
+                       -> quarantined (retries exhausted; sweep continues)
+
+— and the journal records each transition as one JSON line, flushed and
+fsync'd at the moment it happens. Because the file is append-only and
+every line is self-contained, a journal is valid after *any* crash: a
+torn final line (the write the crash interrupted) is detected and
+ignored on load, and the fold over the surviving lines reconstructs the
+exact sweep state.
+
+``pending`` records carry the cell's full :class:`CellSpec` encoding and
+a hash of the configuration it implies, so a journal alone is enough to
+resume a sweep (``repro resume <journal>``): completed cells whose
+config hash still matches are reloaded from their cached
+:class:`RunResult` (bit-identical — see :mod:`.artifacts`), everything
+else is re-run. ``sweep`` records carry driver metadata (figure name,
+sizes, scale) so the CLI can re-dispatch the original driver.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["SweepJournal", "CellState", "STATUSES"]
+
+#: Legal cell statuses, in lifecycle order.
+STATUSES = ("pending", "running", "done", "failed", "quarantined")
+
+
+@dataclass
+class CellState:
+    """Folded state of one cell after replaying its journal records."""
+
+    key: str
+    status: str = "pending"
+    spec: Optional[Dict] = None
+    config_hash: Optional[str] = None
+    attempt: int = 0
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    failures: List[str] = field(default_factory=list)
+
+
+class SweepJournal:
+    """Append-only JSONL journal of one sweep's cell lifecycle."""
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        self.meta: Dict = {}
+        self.cells: Dict[str, CellState] = {}
+        self.torn_lines = 0
+        self._handle = None
+
+    # ------------------------------------------------------------- load
+    @classmethod
+    def load(cls, path: str) -> "SweepJournal":
+        """Open ``path``, replaying any existing records.
+
+        Unparseable lines are tolerated only at the very end of the file
+        (a write torn by a crash); garbage earlier in the journal raises,
+        because it means the file is not one of ours.
+        """
+        journal = cls(path)
+        if os.path.exists(journal.path):
+            with open(journal.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().split("\n")
+            # A well-formed journal ends with "\n", so the final split
+            # element is empty; anything else is a torn tail.
+            for index, line in enumerate(lines):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    if index >= len(lines) - 2:
+                        journal.torn_lines += 1
+                        continue
+                    raise ValueError(
+                        f"{journal.path}:{index + 1}: corrupt journal "
+                        f"record (not at end of file)")
+                journal._fold(record)
+        return journal
+
+    def _fold(self, record: Dict) -> None:
+        kind = record.get("kind")
+        if kind == "sweep":
+            self.meta.update(record.get("meta", {}))
+            return
+        if kind != "cell":
+            return  # unknown kinds are forward-compatible noise
+        key = record["key"]
+        status = record.get("status")
+        if status not in STATUSES:
+            raise ValueError(f"{self.path}: bad status {status!r} "
+                             f"for cell {key!r}")
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = self.cells[key] = CellState(key=key)
+        cell.status = status
+        if record.get("spec") is not None:
+            cell.spec = record["spec"]
+        if record.get("config_hash") is not None:
+            cell.config_hash = record["config_hash"]
+        if record.get("attempt") is not None:
+            cell.attempt = record["attempt"]
+        if status == "done":
+            cell.result = record.get("result")
+            cell.error = None
+        elif status in ("failed", "quarantined"):
+            cell.error = record.get("error")
+            if record.get("error"):
+                cell.failures.append(record["error"])
+
+    # ----------------------------------------------------------- append
+    def _trim_torn_tail(self) -> None:
+        """Drop a partial final line (a crash-torn write) before appending.
+
+        Load already ignores the torn fragment; trimming it keeps the
+        next appended record from concatenating onto it.
+        """
+        try:
+            if os.path.getsize(self.path) == 0:
+                return
+        except OSError:
+            return
+        with open(self.path, "rb+") as handle:
+            data = handle.read()
+            if data.endswith(b"\n"):
+                return
+            handle.truncate(data.rfind(b"\n") + 1)
+
+    def _append(self, record: Dict) -> None:
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._trim_torn_tail()
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._fold(record)
+
+    def note_sweep(self, meta: Dict) -> None:
+        """Record driver metadata (figure, sizes, scale) for resume."""
+        self._append({"kind": "sweep", "meta": meta})
+
+    def note_cell(self, key: str, status: str, *, spec: Optional[Dict] = None,
+                  config_hash: Optional[str] = None,
+                  attempt: Optional[int] = None,
+                  result: Optional[Dict] = None,
+                  error: Optional[str] = None) -> None:
+        if status not in STATUSES:
+            raise ValueError(f"bad status {status!r}")
+        record: Dict = {"kind": "cell", "key": key, "status": status}
+        if spec is not None:
+            record["spec"] = spec
+        if config_hash is not None:
+            record["config_hash"] = config_hash
+        if attempt is not None:
+            record["attempt"] = attempt
+        if result is not None:
+            record["result"] = result
+        if error is not None:
+            record["error"] = error
+        self._append(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- queries
+    def done(self) -> Dict[str, CellState]:
+        return {key: cell for key, cell in self.cells.items()
+                if cell.status == "done"}
+
+    def incomplete(self) -> Dict[str, CellState]:
+        """Cells not terminally done: pending/running/failed/quarantined.
+
+        ``running`` means the recording process died mid-cell; on resume
+        those cells are simply re-run.
+        """
+        return {key: cell for key, cell in self.cells.items()
+                if cell.status != "done"}
+
+    def counts(self) -> Dict[str, int]:
+        out = {status: 0 for status in STATUSES}
+        for cell in self.cells.values():
+            out[cell.status] += 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        parts = [f"{counts[s]} {s}" for s in STATUSES if counts[s]]
+        return f"{self.path}: " + (", ".join(parts) or "empty")

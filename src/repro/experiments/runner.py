@@ -8,8 +8,9 @@ configuration.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..arch import (
     ActiveDiskConfig,
@@ -20,7 +21,7 @@ from ..arch import (
     build_machine,
 )
 from ..sim import Simulator
-from ..workloads import build_program, registered_tasks
+from ..workloads import build_program
 
 __all__ = ["ARCHITECTURES", "config_for", "run_task",
            "run_task_with_artifacts", "Sweep", "SweepCell"]
@@ -33,16 +34,35 @@ ARCHITECTURES = ("active", "cluster", "smp")
 DEFAULT_SCALE = 1.0 / 16.0
 
 
+_CONFIG_CLASSES = {
+    "active": ActiveDiskConfig,
+    "cluster": ClusterConfig,
+    "smp": SMPConfig,
+}
+
+
 def config_for(arch: str, num_disks: int, **overrides) -> ArchConfig:
-    """The paper's core configuration for ``arch`` at ``num_disks``."""
-    if arch == "active":
-        return ActiveDiskConfig(num_disks=num_disks, **overrides)
-    if arch == "cluster":
-        return ClusterConfig(num_disks=num_disks, **overrides)
-    if arch == "smp":
-        return SMPConfig(num_disks=num_disks, **overrides)
-    raise ValueError(
-        f"unknown architecture {arch!r}; pick one of {ARCHITECTURES}")
+    """The paper's core configuration for ``arch`` at ``num_disks``.
+
+    ``overrides`` must name fields of that architecture's config class;
+    a misspelled or foreign field raises a :class:`ValueError` listing
+    the valid ones (rather than the constructor's opaque ``TypeError``).
+    ``num_disks`` is its own argument, not an override.
+    """
+    cls = _CONFIG_CLASSES.get(arch)
+    if cls is None:
+        raise ValueError(
+            f"unknown architecture {arch!r}; pick one of {ARCHITECTURES}")
+    if overrides:
+        valid = sorted(f.name for f in dataclasses.fields(cls)
+                       if f.name != "num_disks")
+        unknown = sorted(set(overrides) - set(valid))
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.__name__} field(s) "
+                f"{', '.join(repr(name) for name in unknown)}; "
+                f"valid fields: {', '.join(valid)}")
+    return cls(num_disks=num_disks, **overrides)
 
 
 def run_task(config: ArchConfig, task: str,

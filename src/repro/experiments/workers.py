@@ -1,0 +1,362 @@
+"""Sweep cells and the process-isolated worker pool that runs them.
+
+A :class:`CellSpec` is a JSON-serializable description of one simulation
+— (task, architecture, disk count, scale) plus the variant knobs the
+figure drivers use (memory, interconnect rate, restricted routing,
+drive model, injected drive failure). It is the unit the journal
+records, the worker processes receive, and the config hash covers.
+
+:func:`run_cells` executes a batch of specs. With ``jobs == 1`` and no
+timeout it runs them inline, in order, in the calling process — the
+exact code path the figure drivers always had, so default results stay
+byte-identical. With ``jobs > 1`` (or a timeout) each simulation runs in
+its own subprocess, so a crash (segfault, OOM kill) or a hang in one
+pathological configuration is contained: the supervisor reaps the
+worker, retries with exponential backoff up to ``retries`` times, and
+finally *quarantines* the cell and moves on rather than sinking the
+sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..arch import RunResult
+from .artifacts import result_from_dict, result_to_dict
+
+__all__ = ["CellSpec", "CellOutcome", "run_cells", "run_cell",
+           "build_config"]
+
+#: Named drive models a spec may reference (JSON-friendly indirection).
+DRIVE_NAMES = ("SEAGATE_ST39102", "HITACHI_DK3E1T91")
+
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One sweep cell: everything needed to reproduce a single run."""
+
+    task: str
+    arch: str
+    num_disks: int
+    variant: str = "base"
+    scale: float = 1.0 / 16.0
+    memory_mb: Optional[int] = None
+    interconnect_mb: Optional[float] = None
+    restricted: bool = False
+    fibreswitch_segments: Optional[int] = None
+    drive: Optional[str] = None
+    fault_disk: Optional[int] = None
+    fault_at: Optional[float] = None
+    fault_seed: int = 0
+
+    @property
+    def key(self) -> str:
+        """Journal key; unique within a sweep by construction."""
+        return f"{self.task}:{self.arch}:{self.num_disks}:{self.variant}"
+
+    def to_dict(self) -> Dict:
+        out = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if value != spec_field.default:
+                out[spec_field.name] = value
+        out.update(task=self.task, arch=self.arch,
+                   num_disks=self.num_disks, variant=self.variant,
+                   scale=self.scale)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CellSpec":
+        valid = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown CellSpec fields: {', '.join(sorted(unknown))}")
+        return cls(**data)
+
+    def config_hash(self) -> str:
+        """Stable digest of the configuration this spec implies."""
+        import hashlib
+        import json
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def build_config(spec: CellSpec):
+    """Materialize the :class:`ArchConfig` a spec describes."""
+    from .runner import config_for
+
+    overrides = {}
+    if spec.drive is not None:
+        if spec.drive not in DRIVE_NAMES:
+            raise ValueError(f"unknown drive {spec.drive!r}; "
+                             f"pick one of {DRIVE_NAMES}")
+        from .. import disk
+        overrides["drive"] = getattr(disk, spec.drive)
+    config = config_for(spec.arch, spec.num_disks, **overrides)
+    if spec.memory_mb is not None:
+        config = config.with_memory(spec.memory_mb * MB)
+    if spec.interconnect_mb is not None:
+        config = config.with_interconnect(spec.interconnect_mb * MB)
+    if spec.fibreswitch_segments is not None:
+        config = config.with_fibreswitch(spec.fibreswitch_segments)
+    if spec.restricted:
+        config = config.restricted()
+    return config
+
+
+def run_cell(spec: CellSpec) -> RunResult:
+    """Run one cell to completion in the current process."""
+    from .runner import run_task
+
+    fault_plan = None
+    if spec.fault_disk is not None:
+        from ..faults import FaultPlan, FaultSpec
+        fault_plan = FaultPlan.of(
+            FaultSpec(kind="drive_failure", target=f"disk.{spec.fault_disk}",
+                      at=spec.fault_at or 0.0),
+            seed=spec.fault_seed)
+    return run_task(build_config(spec), spec.task, spec.scale,
+                    fault_plan=fault_plan)
+
+
+@dataclass
+class CellOutcome:
+    """Terminal outcome of one cell after all attempts."""
+
+    spec: CellSpec
+    status: str                     # "done" | "quarantined"
+    attempts: int
+    result: Optional[RunResult] = None
+    error: Optional[str] = None
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+
+# ----------------------------------------------------------- subprocess
+def _worker_main(cell_fn, spec_dict: Dict, conn) -> None:
+    """Entry point of one worker subprocess: run one cell, pipe it back."""
+    try:
+        result = cell_fn(CellSpec.from_dict(spec_dict))
+        conn.send(("ok", result_to_dict(result)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc(limit=20)))
+        except BrokenPipeError:  # pragma: no cover - supervisor died
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context(name: Optional[str] = None):
+    if name is None:
+        methods = multiprocessing.get_all_start_methods()
+        name = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(name)
+
+
+@dataclass
+class _Running:
+    proc: object
+    conn: object
+    spec: CellSpec
+    attempt: int
+    deadline: Optional[float]
+
+
+def _reap(entry: _Running) -> None:
+    """Terminate one worker, escalating to SIGKILL if it lingers."""
+    if entry.proc.is_alive():
+        entry.proc.terminate()
+        entry.proc.join(0.5)
+        if entry.proc.is_alive():  # pragma: no cover - stubborn worker
+            entry.proc.kill()
+            entry.proc.join(0.5)
+    try:
+        entry.conn.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+def run_cells(specs: Sequence[CellSpec], *,
+              jobs: int = 1,
+              timeout: Optional[float] = None,
+              retries: int = 0,
+              backoff: float = 0.05,
+              cell_fn: Callable[[CellSpec], RunResult] = run_cell,
+              on_start: Optional[Callable[[CellSpec, int], None]] = None,
+              on_attempt_failed: Optional[
+                  Callable[[CellSpec, int, str, str], None]] = None,
+              on_outcome: Optional[Callable[[CellOutcome], None]] = None,
+              mp_context: Optional[str] = None,
+              ) -> List[CellOutcome]:
+    """Execute every spec, retrying and quarantining as configured.
+
+    Callbacks fire in the supervising process, in event order:
+    ``on_start(spec, attempt)`` when an attempt launches,
+    ``on_attempt_failed(spec, attempt, error, kind)`` when one fails
+    (``kind`` is ``"error"``, ``"timeout"`` or ``"crashed"``), and
+    ``on_outcome(outcome)`` once per cell at its terminal state.
+    ``KeyboardInterrupt`` (and the SIGTERM handler that re-raises as
+    one) propagates out of this function after every live worker has
+    been terminated — no orphan processes.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    isolate = jobs > 1 or timeout is not None
+    if not isolate:
+        return _run_inline(specs, retries=retries, backoff=backoff,
+                           cell_fn=cell_fn, on_start=on_start,
+                           on_attempt_failed=on_attempt_failed,
+                           on_outcome=on_outcome)
+    return _run_pool(specs, jobs=jobs, timeout=timeout, retries=retries,
+                     backoff=backoff, cell_fn=cell_fn, on_start=on_start,
+                     on_attempt_failed=on_attempt_failed,
+                     on_outcome=on_outcome, mp_context=mp_context)
+
+
+def _finish(outcomes: List[CellOutcome], outcome: CellOutcome,
+            on_outcome) -> None:
+    outcomes.append(outcome)
+    if on_outcome is not None:
+        on_outcome(outcome)
+
+
+def _run_inline(specs, *, retries, backoff, cell_fn,
+                on_start, on_attempt_failed, on_outcome):
+    outcomes: List[CellOutcome] = []
+    for spec in specs:
+        failures: List[str] = []
+        for attempt in range(retries + 1):
+            if on_start is not None:
+                on_start(spec, attempt)
+            try:
+                result = cell_fn(spec)
+            except Exception:
+                error = traceback.format_exc(limit=20)
+                failures.append(error)
+                if on_attempt_failed is not None:
+                    on_attempt_failed(spec, attempt, error, "error")
+                if attempt < retries and backoff > 0:
+                    time.sleep(backoff * (2 ** attempt))
+                continue
+            _finish(outcomes, CellOutcome(spec, "done", attempt + 1,
+                                          result=result,
+                                          failures=failures), on_outcome)
+            break
+        else:
+            _finish(outcomes, CellOutcome(spec, "quarantined", retries + 1,
+                                          error=failures[-1],
+                                          failures=failures), on_outcome)
+    return outcomes
+
+
+def _run_pool(specs, *, jobs, timeout, retries, backoff, cell_fn,
+              on_start, on_attempt_failed, on_outcome, mp_context):
+    ctx = _mp_context(mp_context)
+    # (spec, attempt, not_before, failures)
+    queue: deque = deque((spec, 0, 0.0, []) for spec in specs)
+    running: List[_Running] = []
+    failures_of: Dict[str, List[str]] = {spec.key: [] for spec in specs}
+    outcomes: List[CellOutcome] = []
+
+    def attempt_failed(entry: _Running, error: str, kind: str) -> None:
+        failures = failures_of[entry.spec.key]
+        failures.append(error)
+        if on_attempt_failed is not None:
+            on_attempt_failed(entry.spec, entry.attempt, error, kind)
+        if entry.attempt < retries:
+            not_before = time.monotonic() + backoff * (2 ** entry.attempt)
+            queue.append((entry.spec, entry.attempt + 1, not_before,
+                          failures))
+        else:
+            _finish(outcomes,
+                    CellOutcome(entry.spec, "quarantined",
+                                entry.attempt + 1, error=error,
+                                failures=list(failures)), on_outcome)
+
+    try:
+        while queue or running:
+            now = time.monotonic()
+            while len(running) < jobs:
+                index = next((i for i, item in enumerate(queue)
+                              if item[2] <= now), None)
+                if index is None:
+                    break
+                spec, attempt, _, _ = queue[index]
+                del queue[index]
+                parent, child = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(cell_fn, spec.to_dict(), child),
+                    name=f"repro-cell-{spec.key}", daemon=True)
+                if on_start is not None:
+                    on_start(spec, attempt)
+                proc.start()
+                child.close()
+                deadline = now + timeout if timeout is not None else None
+                running.append(_Running(proc, parent, spec, attempt,
+                                        deadline))
+            if not running:
+                time.sleep(0.005)
+                continue
+            multiprocessing.connection.wait(
+                [entry.conn for entry in running], timeout=0.05)
+            now = time.monotonic()
+            still: List[_Running] = []
+            for entry in running:
+                if entry.conn.poll():
+                    try:
+                        kind, payload = entry.conn.recv()
+                    except EOFError:
+                        kind, payload = "crashed", (
+                            f"worker exited without a result "
+                            f"(exitcode {entry.proc.exitcode})")
+                    entry.proc.join(1.0)
+                    _reap(entry)
+                    if kind == "ok":
+                        _finish(outcomes,
+                                CellOutcome(
+                                    entry.spec, "done", entry.attempt + 1,
+                                    result=result_from_dict(payload),
+                                    failures=list(
+                                        failures_of[entry.spec.key])),
+                                on_outcome)
+                    elif kind == "error":
+                        attempt_failed(entry, payload, "error")
+                    else:
+                        attempt_failed(entry, payload, "crashed")
+                elif not entry.proc.is_alive():
+                    _reap(entry)
+                    attempt_failed(
+                        entry,
+                        f"worker died without a result "
+                        f"(exitcode {entry.proc.exitcode})", "crashed")
+                elif entry.deadline is not None and now > entry.deadline:
+                    _reap(entry)
+                    attempt_failed(
+                        entry,
+                        f"cell exceeded {timeout:g}s wall-clock timeout",
+                        "timeout")
+                else:
+                    still.append(entry)
+            running = still
+    finally:
+        for entry in running:
+            _reap(entry)
+    return outcomes

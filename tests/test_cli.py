@@ -85,3 +85,43 @@ class TestCommands:
         assert main(["fig5", "--sizes", "4", "--tasks", "select",
                      "--scale", "1/256"]) == 0
         assert "Figure 5" in capsys.readouterr().out
+
+
+class TestHarnessCommands:
+    def test_doctor(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke: select on active" in out
+        assert "checks passed" in out
+
+    def test_sweep_writes_artifacts_and_manifest(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "results")
+        assert main(["sweep", "fig1", "--sizes", "4", "--tasks", "select",
+                     "--scale", "1/256", "--out-dir", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "harness:" in out
+        from repro.experiments import verify_manifest
+        assert verify_manifest(out_dir) == []
+        assert (tmp_path / "results" / "fig1.csv").exists()
+        assert (tmp_path / "results" / "fig1.journal.jsonl").exists()
+
+    def test_resume_completed_sweep_is_all_cache_hits(self, capsys,
+                                                      tmp_path):
+        out_dir = str(tmp_path / "results")
+        assert main(["sweep", "fig1", "--sizes", "4", "--tasks", "select",
+                     "--scale", "1/256", "--out-dir", out_dir]) == 0
+        first = capsys.readouterr().out
+        journal = str(tmp_path / "results" / "fig1.journal.jsonl")
+        assert main(["resume", journal]) == 0
+        second = capsys.readouterr().out
+        assert "resumed" in second
+        # the re-rendered figure is identical to the first run's
+        assert [line for line in first.splitlines() if "|" in line] == \
+               [line for line in second.splitlines() if "|" in line]
+
+    def test_resume_missing_journal_fails(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["resume"])   # journal path is required
+        assert main(["resume", str(tmp_path / "nope.jsonl")]) == 1

@@ -1,0 +1,249 @@
+"""Tests for the sweep harness building blocks: journal records,
+crash-safe artifacts, cell specs, and the config_for override
+validation."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (
+    CellSpec,
+    build_config,
+    config_for,
+    result_from_dict,
+    result_to_dict,
+    run_cell,
+    verify_manifest,
+    write_manifest,
+)
+from repro.experiments.artifacts import (
+    MANIFEST_NAME,
+    atomic_write_text,
+    sha256_file,
+)
+from repro.experiments.journal import SweepJournal
+
+
+# ----------------------------------------------------------------- journal
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "sweep.journal.jsonl")
+        with SweepJournal.load(path) as journal:
+            journal.note_sweep({"figure": "fig1", "scale": 0.25})
+            journal.note_cell("a", "pending", spec={"task": "select"},
+                              config_hash="abc")
+            journal.note_cell("a", "running", attempt=0)
+            journal.note_cell("a", "done", result={"elapsed": 1.0})
+            journal.note_cell("b", "pending", spec={"task": "sort"},
+                              config_hash="def")
+        loaded = SweepJournal.load(path)
+        assert loaded.meta == {"figure": "fig1", "scale": 0.25}
+        assert loaded.cells["a"].status == "done"
+        assert loaded.cells["a"].spec == {"task": "select"}
+        assert loaded.cells["a"].result == {"elapsed": 1.0}
+        assert loaded.cells["b"].status == "pending"
+        assert set(loaded.done()) == {"a"}
+        assert set(loaded.incomplete()) == {"b"}
+        assert loaded.counts()["done"] == 1
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        path = str(tmp_path / "sweep.journal.jsonl")
+        with SweepJournal.load(path) as journal:
+            journal.note_cell("a", "pending", spec={}, config_hash="x")
+            journal.note_cell("a", "done", result={})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "cell", "key": "b", "sta')  # torn write
+        loaded = SweepJournal.load(path)
+        assert loaded.torn_lines == 1
+        assert loaded.cells["a"].status == "done"
+        assert "b" not in loaded.cells
+        # The journal stays appendable after a torn tail.
+        loaded.note_cell("b", "pending", spec={}, config_hash="y")
+        loaded.close()
+        assert SweepJournal.load(path).cells["b"].status == "pending"
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "sweep.journal.jsonl"
+        good = json.dumps({"kind": "cell", "key": "a", "status": "pending"})
+        path.write_text("not json at all\n" + good + "\n" + good + "\n")
+        with pytest.raises(ValueError, match="corrupt journal"):
+            SweepJournal.load(str(path))
+
+    def test_failure_history_accumulates(self, tmp_path):
+        path = str(tmp_path / "sweep.journal.jsonl")
+        with SweepJournal.load(path) as journal:
+            journal.note_cell("a", "pending", spec={}, config_hash="x")
+            journal.note_cell("a", "failed", attempt=0, error="boom 1")
+            journal.note_cell("a", "failed", attempt=1, error="boom 2")
+            journal.note_cell("a", "quarantined", attempt=1,
+                              error="boom 2")
+        cell = SweepJournal.load(path).cells["a"]
+        assert cell.status == "quarantined"
+        assert cell.failures == ["boom 1", "boom 2", "boom 2"]
+
+    def test_bad_status_rejected(self, tmp_path):
+        journal = SweepJournal(str(tmp_path / "j.jsonl"))
+        with pytest.raises(ValueError, match="bad status"):
+            journal.note_cell("a", "exploded")
+
+    def test_summary_mentions_counts(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with SweepJournal.load(path) as journal:
+            journal.note_cell("a", "pending", spec={}, config_hash="x")
+        assert "1 pending" in SweepJournal.load(path).summary()
+
+
+# --------------------------------------------------------------- artifacts
+class TestArtifacts:
+    def test_atomic_write_replaces_whole_file(self, tmp_path):
+        target = tmp_path / "out.csv"
+        atomic_write_text(str(target), "old content\n")
+        atomic_write_text(str(target), "new content\n")
+        assert target.read_text() == "new content\n"
+        leftovers = [p for p in os.listdir(tmp_path)
+                     if p.endswith(".tmp")]
+        assert not leftovers
+
+    def test_manifest_round_trip_and_verify(self, tmp_path):
+        atomic_write_text(str(tmp_path / "fig1.csv"), "a,b\n1,2\n")
+        atomic_write_text(str(tmp_path / "fig1.txt"), "table\n")
+        # journals and temporaries are excluded from the manifest
+        (tmp_path / "fig1.journal.jsonl").write_text("{}\n")
+        manifest = write_manifest(str(tmp_path))
+        assert set(manifest["files"]) == {"fig1.csv", "fig1.txt"}
+        assert verify_manifest(str(tmp_path)) == []
+        (tmp_path / "fig1.csv").write_text("tampered")
+        problems = verify_manifest(str(tmp_path))
+        assert problems == ["fig1.csv: checksum mismatch"]
+
+    def test_verify_reports_missing_file(self, tmp_path):
+        atomic_write_text(str(tmp_path / "fig1.txt"), "x\n")
+        write_manifest(str(tmp_path))
+        (tmp_path / "fig1.txt").unlink()
+        assert verify_manifest(str(tmp_path)) == ["fig1.txt: missing"]
+
+    def test_verify_without_manifest(self, tmp_path):
+        assert verify_manifest(str(tmp_path)) == [
+            f"no {MANIFEST_NAME} in {tmp_path}"]
+
+    def test_sha256_matches_hashlib(self, tmp_path):
+        import hashlib
+        payload = b"x" * 4096
+        (tmp_path / "blob").write_bytes(payload)
+        assert (sha256_file(str(tmp_path / "blob"))
+                == hashlib.sha256(payload).hexdigest())
+
+
+class TestResultRoundTrip:
+    def test_bit_identical_round_trip(self):
+        result = run_cell(CellSpec(task="select", arch="active",
+                                   num_disks=2, scale=1 / 1024))
+        rebuilt = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result))))
+        assert rebuilt == result
+        assert rebuilt.elapsed == result.elapsed  # exact, not approx
+
+    def test_schema_version_checked(self):
+        data = result_to_dict(run_cell(CellSpec(
+            task="select", arch="active", num_disks=2, scale=1 / 1024)))
+        data["schema"] = 999
+        with pytest.raises(ValueError, match="schema version"):
+            result_from_dict(data)
+
+    @pytest.mark.parametrize("mutation", [
+        lambda d: d.pop("task"),
+        lambda d: d.__setitem__("elapsed", "fast"),
+        lambda d: d["phases"][0].pop("busy"),
+        lambda d: d["phases"][0]["busy"].__setitem__("scan", "lots"),
+        lambda d: d["extras"].__setitem__("bytes", None),
+    ])
+    def test_malformed_payloads_rejected(self, mutation):
+        data = result_to_dict(run_cell(CellSpec(
+            task="select", arch="active", num_disks=2, scale=1 / 1024)))
+        mutation(data)
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+
+# --------------------------------------------------------------- cell spec
+class TestCellSpec:
+    def test_key_includes_variant(self):
+        a = CellSpec(task="sort", arch="active", num_disks=8)
+        b = CellSpec(task="sort", arch="active", num_disks=8,
+                     variant="restricted", restricted=True)
+        assert a.key != b.key
+
+    def test_dict_round_trip(self):
+        spec = CellSpec(task="sort", arch="active", num_disks=16,
+                        variant="fastio", scale=1 / 64,
+                        interconnect_mb=400)
+        assert CellSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown CellSpec fields"):
+            CellSpec.from_dict({"task": "sort", "arch": "active",
+                                "num_disks": 8, "warp_factor": 9})
+
+    def test_config_hash_tracks_variant_knobs(self):
+        base = CellSpec(task="sort", arch="active", num_disks=8)
+        fast = CellSpec(task="sort", arch="active", num_disks=8,
+                        interconnect_mb=400)
+        assert base.config_hash() != fast.config_hash()
+        assert base.config_hash() == CellSpec.from_dict(
+            base.to_dict()).config_hash()
+
+    def test_build_config_applies_variants(self):
+        spec = CellSpec(task="sort", arch="active", num_disks=8,
+                        memory_mb=64, interconnect_mb=400,
+                        restricted=True)
+        config = build_config(spec)
+        assert config.disk_memory_bytes == 64 * 1_000_000
+        assert config.interconnect_rate == 400 * 1_000_000
+        assert config.direct_disk_to_disk is False
+
+    def test_build_config_fastdisk_drive(self):
+        from repro.disk import HITACHI_DK3E1T91
+        config = build_config(CellSpec(
+            task="sort", arch="active", num_disks=8,
+            drive="HITACHI_DK3E1T91"))
+        assert config.drive is HITACHI_DK3E1T91
+
+    def test_build_config_unknown_drive(self):
+        with pytest.raises(ValueError, match="unknown drive"):
+            build_config(CellSpec(task="sort", arch="active",
+                                  num_disks=8, drive="QUANTUM_BIGFOOT"))
+
+
+# ----------------------------------------------------- config_for overrides
+class TestConfigForValidation:
+    def test_valid_override_accepted(self):
+        config = config_for("active", 8, disk_cpu_mhz=400.0)
+        assert config.disk_cpu_mhz == 400.0
+
+    def test_unknown_field_lists_valid_ones(self):
+        with pytest.raises(ValueError) as excinfo:
+            config_for("active", 8, disk_cpu_mzh=400.0)  # typo
+        message = str(excinfo.value)
+        assert "disk_cpu_mzh" in message
+        assert "disk_cpu_mhz" in message      # the valid spelling is listed
+        assert "ActiveDiskConfig" in message
+
+    def test_num_disks_keyword_still_works(self):
+        # existing callers pass num_disks by keyword; stay compatible
+        assert config_for("cluster", num_disks=8).num_disks == 8
+
+    def test_num_disks_not_listed_as_override(self):
+        with pytest.raises(ValueError) as excinfo:
+            config_for("cluster", 8, nope=1)
+        valid_part = str(excinfo.value).split("valid fields:")[1]
+        assert "num_disks" not in valid_part
+
+    def test_foreign_field_rejected_per_arch(self):
+        # an SMP-only field is invalid for the cluster config
+        with pytest.raises(ValueError, match="unknown ClusterConfig"):
+            config_for("cluster", 8, stripe_chunk_bytes=65536)
+
+    def test_unknown_arch_still_value_error(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            config_for("mainframe", 8)
