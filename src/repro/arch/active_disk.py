@@ -341,7 +341,7 @@ class ActiveDiskMachine(Machine):
         and receives the next phase's initialization over the loop."""
         fc_exchange = 250e-6 + 64 / 100e6  # FCP cost + tiny payload
         cost = 2 * (fc_exchange + self.frontend.os_params.interrupt)
-        yield self.sim.timeout(cost)
+        yield self.sim.pause(cost)
 
     # -- reporting ---------------------------------------------------------------
     def collect_extras(self) -> Dict[str, float]:

@@ -221,7 +221,7 @@ class ClusterMachine(Machine):
         hops = 2 * max(1, ceil(log2(max(2, self.config.num_nodes))))
         per_hop = (64 / params.host_link_rate + params.switch_latency
                    + 2 * MESSAGE_OVERHEAD)
-        yield self.sim.timeout(hops * per_hop)
+        yield self.sim.pause(hops * per_hop)
 
     # -- reporting ------------------------------------------------------------------
     def collect_extras(self) -> Dict[str, float]:

@@ -413,7 +413,7 @@ class SMPMachine(Machine):
         from math import log2
         hops = 2 * max(1, ceil(log2(max(2, self.config.num_boards))))
         per_hop = self.config.numa_latency + self.config.spinlock_cost
-        yield self.sim.timeout(hops * per_hop)
+        yield self.sim.pause(hops * per_hop)
 
     # -- reporting ------------------------------------------------------------------
     def collect_extras(self) -> Dict[str, float]:

@@ -26,7 +26,7 @@ from typing import List, Optional
 __all__ = ["CacheOutcome", "Segment", "SegmentedCache"]
 
 
-@dataclass
+@dataclass(frozen=True)
 class CacheOutcome:
     """Result of a cache lookup for one request.
 
@@ -34,13 +34,21 @@ class CacheOutcome:
     ``streaming`` — request continues a tracked stream (no positioning,
     media transfer only).  When both are False the request pays full
     positioning.
+
+    Only three outcomes exist, so :meth:`SegmentedCache.lookup` returns
+    shared frozen instances instead of allocating one per request.
     """
 
     buffer_hit: bool
     streaming: bool
 
 
-@dataclass
+_BUFFER_HIT = CacheOutcome(buffer_hit=True, streaming=False)
+_STREAMING = CacheOutcome(buffer_hit=False, streaming=True)
+_MISS = CacheOutcome(buffer_hit=False, streaming=False)
+
+
+@dataclass(slots=True)
 class Segment:
     """One tracked stream: a window of buffered LBNs plus its append point."""
 
@@ -96,15 +104,15 @@ class SegmentedCache:
                                  and end <= segment.next_lbn):
                 self.hits += 1
                 self._touch(segment)
-                return CacheOutcome(buffer_hit=True, streaming=False)
+                return _BUFFER_HIT
             if segment.next_lbn == start:
                 self.streaming_hits += 1
                 self._extend(segment, end)
-                return CacheOutcome(buffer_hit=False, streaming=True)
+                return _STREAMING
 
         self.misses += 1
         self._install(start, end, is_write)
-        return CacheOutcome(buffer_hit=False, streaming=False)
+        return _MISS
 
     def _extend(self, segment: Segment, end: int) -> None:
         segment.next_lbn = end

@@ -24,7 +24,7 @@ drivers can build breakdowns.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import ceil
 from typing import Optional
 
@@ -43,7 +43,7 @@ __all__ = ["DiskRequest", "DiskDrive"]
 DEFAULT_READ_RETRIES = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskRequest:
     """One read or write of ``nbytes`` starting at sector ``lbn``."""
 
@@ -110,6 +110,10 @@ class DiskDrive:
         self._wakeup: Optional[Event] = None
         self._idle_since = sim.now
         self._track = f"disk.{name}"
+        # Hot-path caches: the telemetry hub and sector size are fixed
+        # for the simulator's lifetime.
+        self._telemetry = sim.telemetry
+        self._sector_bytes = spec.sector_bytes
         tel = sim.telemetry
         if tel.enabled:
             tel.registry.bind(f"disk.{name}.queue.depth",
@@ -137,7 +141,7 @@ class DiskDrive:
         """
         if self.failed:
             return self._refuse()
-        sectors = ceil(nbytes / self.spec.sector_bytes)
+        sectors = ceil(nbytes / self._sector_bytes)
         if lbn + sectors > self.geometry.total_sectors:
             raise ValueError(
                 f"{self.name}: request [{lbn}, {lbn + sectors}) beyond "
@@ -145,7 +149,7 @@ class DiskDrive:
         request = DiskRequest(
             op=op, lbn=lbn, nbytes=nbytes,
             done=Event(self.sim), issued_at=self.sim.now)
-        request.cylinder, _, _ = self.geometry.lbn_to_chs(lbn)
+        request.cylinder = self.geometry.cylinder_of_lbn(lbn)
         self.queue.push(request)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
@@ -214,7 +218,7 @@ class DiskDrive:
             penalty += self.spec.seek_track_to_track + self.spec.revolution_time
             port.note("faults.disk.remaps")
         began = self.sim.now
-        yield self.sim.timeout(penalty)
+        yield self.sim.pause(penalty)
         self.busy.charge("recovery", penalty)
         port.note("faults.disk.media_errors")
         port.note("faults.disk.read_retries", retries)
@@ -246,8 +250,9 @@ class DiskDrive:
 
     def _media_work(self, op: str, lbn: int, nbytes: int):
         """Positioning + transfer for one extent, cache-aware."""
-        tel = self.sim.telemetry
-        sectors = ceil(nbytes / self.spec.sector_bytes)
+        sim = self.sim
+        tel = self._telemetry
+        sectors = ceil(nbytes / self._sector_bytes)
         outcome = self.cache.lookup(op, lbn, lbn + sectors)
         write = op == "write"
         if outcome.buffer_hit:
@@ -261,16 +266,15 @@ class DiskDrive:
         fp = self.faults
         slow = fp.factor() if fp is not None and fp.active else 1.0
         if not (outcome.streaming and self.head_lbn == lbn):
-            delay, cylinder = self.mechanics.positioning_time(
-                self.sim.now, self.current_cylinder, lbn, write)
-            seek = self.mechanics.seek_time(
-                self.current_cylinder, cylinder, write)
+            seek, rotation, cylinder = self.mechanics.positioning_parts(
+                sim.now, self.current_cylinder, lbn, write)
+            delay = seek + rotation
             if slow != 1.0:
                 delay *= slow
                 seek *= slow
-            began = self.sim.now
+            began = sim.now
             if delay > 0:
-                yield self.sim.timeout(delay)
+                yield sim.pause(delay)
             self.busy.charge("seek", seek)
             self.busy.charge("rotate", delay - seek)
             if tel.enabled and delay > 0:
@@ -284,9 +288,9 @@ class DiskDrive:
         transfer = self.mechanics.transfer_time(lbn, nbytes)
         if slow != 1.0:
             transfer *= slow
-        began = self.sim.now
+        began = sim.now
         if transfer > 0:
-            yield self.sim.timeout(transfer)
+            yield sim.pause(transfer)
         self.busy.charge("transfer", transfer)
         if tel.enabled and transfer > 0:
             tel.spans.complete("disk", op, self._track, began, transfer,
@@ -296,13 +300,13 @@ class DiskDrive:
             if hit is not None:
                 yield from self._media_recovery(hit, op)
         end = lbn + sectors
-        self.current_cylinder, _, _ = self.geometry.lbn_to_chs(end - 1)
+        self.current_cylinder = self.geometry.cylinder_of_lbn(end - 1)
         self.head_lbn = end
 
     def _service(self, request: DiskRequest):
         spec = self.spec
         if spec.controller_overhead > 0:
-            yield self.sim.timeout(spec.controller_overhead)
+            yield self.sim.pause(spec.controller_overhead)
             self.busy.charge("overhead", spec.controller_overhead)
 
         write = request.op == "write"
@@ -330,7 +334,7 @@ class DiskDrive:
             self.bytes_read += request.nbytes
         response = self.sim.now - request.issued_at
         self.response_times.observe(response)
-        tel = self.sim.telemetry
+        tel = self._telemetry
         if tel.enabled:
             tel.registry.histogram(f"{self._track}.response").observe(response)
             tel.registry.counter(

@@ -10,6 +10,7 @@ needs for seek distances and rotational offsets.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -65,6 +66,15 @@ class DiskGeometry:
             raise ValueError(
                 f"{spec.name}: geometry maps zero sectors — check media "
                 f"rates and rpm")
+        # Translation runs on every request the drive services; the zone
+        # search is a C-level bisect over this boundary table, and the
+        # per-zone media rate is computed once (same expression as
+        # before, so the cached float is bit-identical).
+        self._zone_starts = [zone.first_lbn for zone in self.zones]
+        self._zone_rates = [
+            zone.sectors_per_track * spec.sector_bytes
+            / spec.revolution_time
+            for zone in self.zones]
 
     def _build_zones(self) -> None:
         spec = self.spec
@@ -90,15 +100,10 @@ class DiskGeometry:
     # -- translation ------------------------------------------------------
     def zone_of_lbn(self, lbn: int) -> Zone:
         """The zone containing ``lbn`` (binary search over zone bounds)."""
-        self._check_lbn(lbn)
-        lo, hi = 0, len(self.zones) - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if self.zones[mid].first_lbn <= lbn:
-                lo = mid
-            else:
-                hi = mid - 1
-        return self.zones[lo]
+        if not 0 <= lbn < self.total_sectors:
+            raise ValueError(
+                f"LBN {lbn} out of range [0, {self.total_sectors})")
+        return self.zones[bisect_right(self._zone_starts, lbn) - 1]
 
     def lbn_to_chs(self, lbn: int) -> Tuple[int, int, int]:
         """Map an LBN to ``(cylinder, head, sector)``."""
@@ -112,6 +117,17 @@ class DiskGeometry:
         head = within // spt
         sector = within % spt
         return cylinder, head, sector
+
+    def cylinder_of_lbn(self, lbn: int) -> int:
+        """Just the cylinder of ``lbn`` (what schedulers and seeks need).
+
+        Identical integer math to :meth:`lbn_to_chs` without computing
+        the head and sector the callers throw away.
+        """
+        zone = self.zone_of_lbn(lbn)
+        offset = lbn - zone.first_lbn
+        return (zone.first_cylinder
+                + offset // (zone.sectors_per_track * self.spec.heads))
 
     def chs_to_lbn(self, cylinder: int, head: int, sector: int) -> int:
         """Inverse of :meth:`lbn_to_chs`."""
@@ -137,19 +153,22 @@ class DiskGeometry:
 
     def media_rate_at_lbn(self, lbn: int) -> float:
         """Sustained media transfer rate (bytes/s) at ``lbn``'s zone."""
-        zone = self.zone_of_lbn(lbn)
-        bytes_per_rev = zone.sectors_per_track * self.spec.sector_bytes
-        return bytes_per_rev / self.spec.revolution_time
+        if not 0 <= lbn < self.total_sectors:
+            raise ValueError(
+                f"LBN {lbn} out of range [0, {self.total_sectors})")
+        return self._zone_rates[bisect_right(self._zone_starts, lbn) - 1]
 
     def angle_of(self, lbn: int) -> float:
-        """Angular position of ``lbn`` on its track, in [0, 1)."""
+        """Angular position of ``lbn`` on its track, in [0, 1).
+
+        ``(offset % cylinder_size) % spt == offset % spt`` since ``spt``
+        divides ``cylinder_size``, so one zone lookup suffices.
+        """
         zone = self.zone_of_lbn(lbn)
-        _, _, sector = self.lbn_to_chs(lbn)
-        return sector / zone.sectors_per_track
+        spt = zone.sectors_per_track
+        return ((lbn - zone.first_lbn) % spt) / spt
 
     def _check_lbn(self, lbn: int) -> None:
         if not 0 <= lbn < getattr(self, "total_sectors", float("inf")):
             raise ValueError(
                 f"LBN {lbn} out of range [0, {self.total_sectors})")
-        if lbn < 0:
-            raise ValueError(f"negative LBN: {lbn}")

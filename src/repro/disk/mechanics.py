@@ -40,13 +40,23 @@ class SeekCurve:
         # The mean distance of a uniformly random seek is one third of the
         # stroke; anchor the curve's knee there.
         self.knee = max(2, cylinders // 3)
+        # Seek times are pure in the distance, and real access patterns
+        # revisit a handful of distances (0 for streaming, a few strides
+        # for interleaved scans) — memoized per cylinder distance.
+        self._memo = {0: 0.0}
 
     def __call__(self, distance: int) -> float:
         """Seek time in seconds for a move of ``distance`` cylinders."""
+        memo = self._memo
+        time = memo.get(distance)
+        if time is None:
+            time = self._compute(distance)
+            memo[distance] = time
+        return time
+
+    def _compute(self, distance: int) -> float:
         if distance < 0:
             raise ValueError(f"negative seek distance: {distance}")
-        if distance == 0:
-            return 0.0
         if distance >= self.cylinders:
             raise ValueError(
                 f"seek distance {distance} exceeds stroke {self.cylinders}")
@@ -100,13 +110,25 @@ class DiskMechanics:
             return 0.0
         return nbytes / self.geometry.media_rate_at_lbn(lbn)
 
+    def positioning_parts(self, now: float, from_cylinder: int,
+                          lbn: int, write: bool) -> Tuple[float, float, int]:
+        """Seek and rotational wait to reach ``lbn``, split out.
+
+        Returns ``(seek_seconds, rotation_seconds, new_cylinder)`` so a
+        caller that accounts seek and rotation separately (the drive's
+        busy buckets) does not recompute the seek.
+        """
+        cylinder = self.geometry.cylinder_of_lbn(lbn)
+        seek = self.seek_time(from_cylinder, cylinder, write)
+        rotation = self.rotational_delay(now + seek, lbn)
+        return seek, rotation, cylinder
+
     def positioning_time(self, now: float, from_cylinder: int,
                          lbn: int, write: bool) -> Tuple[float, int]:
         """Seek + rotational wait to reach ``lbn``.
 
         Returns ``(delay_seconds, new_cylinder)``.
         """
-        cylinder, _, _ = self.geometry.lbn_to_chs(lbn)
-        seek = self.seek_time(from_cylinder, cylinder, write)
-        rotation = self.rotational_delay(now + seek, lbn)
+        seek, rotation, cylinder = self.positioning_parts(
+            now, from_cylinder, lbn, write)
         return seek + rotation, cylinder

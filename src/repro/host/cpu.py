@@ -34,15 +34,19 @@ class Cpu:
         self.name = name
         self.server = Server(sim, capacity=1, name=name)
         self.busy = BusyTracker(name)
+        # Same division as the old per-call property — the cached float
+        # is bit-identical; compute() runs per charged cost component.
+        self._scale = REFERENCE_MHZ / mhz
+        self._telemetry = sim.telemetry
 
     @property
     def scale(self) -> float:
         """Multiplier applied to reference-machine processing times."""
-        return REFERENCE_MHZ / self.mhz
+        return self._scale
 
     def scaled(self, reference_seconds: float) -> float:
         """Wall time this CPU needs for ``reference_seconds`` of trace time."""
-        return reference_seconds * self.scale
+        return reference_seconds * self._scale
 
     def compute(self, reference_seconds: float,
                 bucket: str = "compute") -> Generator[Event, Any, None]:
@@ -75,7 +79,7 @@ class Cpu:
         as the gap before the span, i.e. the timeline's idle/contended
         distinction falls out for free.
         """
-        tel = self.sim.telemetry
+        tel = self._telemetry
         if tel.enabled:
             tel.spans.complete("host", bucket, f"cpu.{self.name}",
                                self.sim.now - duration, duration)

@@ -128,7 +128,7 @@ class SerialBus:
             tel.spans.complete("bus", "arb", f"{track}.wait", began,
                                granted - began)
         try:
-            yield self.sim.timeout(self.hold_time(nbytes))
+            yield self.sim.pause(self.hold_time(nbytes))
         finally:
             self.server.release()
             queue.set(float(self.occupancy()))
@@ -159,8 +159,19 @@ class BusGroup:
         return sum(bus.rate for bus in self.buses)
 
     def pick(self) -> SerialBus:
-        """Least-occupied member bus."""
-        return min(self.buses, key=lambda b: (b.occupancy(), b.name))
+        """Least-occupied member bus.
+
+        The dominant configuration is the paper's dual loop; picking
+        between two members directly keeps min()'s first-minimal
+        semantics (names share a prefix and order by index, so the
+        name tie-break equals "first wins") without building a key
+        tuple per member per transfer.
+        """
+        buses = self.buses
+        if len(buses) == 2:
+            first, second = buses
+            return first if first.occupancy() <= second.occupancy() else second
+        return min(buses, key=lambda b: (b.occupancy(), b.name))
 
     def transfer(self, nbytes: int) -> Generator[Event, Any, None]:
         """Move ``nbytes`` over the least-loaded member."""

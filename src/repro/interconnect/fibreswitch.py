@@ -105,7 +105,7 @@ class FibreSwitch:
                     args={"src": src, "dst": dst, "nbytes": nbytes})
                 tel.registry.counter(f"bus.{self.name}.crossings").add()
             if self.switch_latency > 0:
-                yield self.sim.timeout(self.switch_latency)
+                yield self.sim.pause(self.switch_latency)
             yield from dst_loop.transfer(nbytes)
         self.transfer_times.observe(self.sim.now - began)
         if tel.enabled:

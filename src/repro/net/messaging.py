@@ -33,7 +33,7 @@ SEND_RETRY = RetryPolicy(max_attempts=4, base_delay=5e-3, factor=2.0,
 ANY_TAG = object()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One delivered message."""
 
@@ -98,7 +98,7 @@ class Messaging:
         if self.cpus is not None and seconds > 0:
             yield from self.cpus[host].serve(seconds)
         elif seconds > 0:
-            yield self.sim.timeout(seconds)
+            yield self.sim.pause(seconds)
 
     # -- point to point -----------------------------------------------------
     def isend(self, src: int, dst: int, tag: Any, nbytes: int,

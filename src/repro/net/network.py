@@ -110,7 +110,7 @@ class Network:
         hops = tree.hop_count(src, dst)
         latency = hops * tree.params.switch_latency
         if latency > 0:
-            yield self.sim.timeout(latency)
+            yield self.sim.pause(latency)
         if sport.leaf != dport.leaf:
             yield from tree.leaves[sport.leaf].up.transfer(nbytes)
             yield from tree.leaves[dport.leaf].down.transfer(nbytes)

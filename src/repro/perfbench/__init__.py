@@ -1,0 +1,37 @@
+"""Performance benchmark suite for the simulation kernel and drivers.
+
+Two suites track the simulator's perf trajectory from PR 4 onward:
+
+* **kernel** (:mod:`~repro.perfbench.kernel`) — microbenchmarks that
+  hammer one kernel mechanism each (timeout storm, event churn, relay
+  path, process spawn, server contention) and report events/sec.
+* **e2e** (:mod:`~repro.perfbench.e2e`) — whole experiment-driver cells
+  (a Figure 1 cell, the Figure 3 sort breakdown) plus a **bit-identity
+  guard** that regenerates Figure 1 and byte-compares it against the
+  checked-in ``results/fig1_arch_comparison.csv``: an optimization that
+  changes any simulated outcome fails the suite.
+
+Results are written as ``BENCH_kernel.json`` / ``BENCH_e2e.json``
+(see :mod:`~repro.perfbench.report` for the schema and the A/B
+comparison helper used to validate speedups against a baseline commit).
+"""
+
+from .e2e import run_e2e_suite
+from .kernel import run_kernel_suite
+from .report import (
+    BenchResult,
+    compare_suites,
+    render_comparison,
+    suite_document,
+    write_suite,
+)
+
+__all__ = [
+    "BenchResult",
+    "run_kernel_suite",
+    "run_e2e_suite",
+    "suite_document",
+    "write_suite",
+    "compare_suites",
+    "render_comparison",
+]

@@ -1,0 +1,45 @@
+"""The checked (debug) kernel loop.
+
+:meth:`~repro.sim.core.Simulator.run` dispatches here when a trace
+callback is installed or the simulator was built with ``debug=True``.
+The loop processes events one at a time through
+:meth:`~repro.sim.core.Simulator.step`, which keeps every per-event
+check the fast loop hoists out:
+
+* the past-time assertion (an event scheduled behind the clock is a
+  kernel-invariant violation and raises immediately at the offending
+  event, not as downstream nonsense);
+* the ``trace(time, event)`` callback for every processed event;
+* no event recycling — processed relay/pause events keep their final
+  state, so a debugger or test can inspect them after the fact.
+
+Hot modules (device models, architecture machines) must never import
+this module — the fast/debug split is selected once per ``run()`` by
+the kernel itself, and a direct dependency here would drag per-event
+checks back into the hot path. A ruff ``banned-api`` rule enforces
+this; see ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .core import SimStalled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Simulator
+
+__all__ = ["run_checked"]
+
+
+def run_checked(sim: "Simulator", until: Optional[float]) -> None:
+    """Drain the queue via checked single steps (mirrors ``_run_fast``)."""
+    while sim._queue:
+        if until is not None and sim.peek() > until:
+            sim._now = until
+            return
+        sim.step()
+    if until is None and sim._alive:
+        raise SimStalled(sorted(p.name for p in sim._alive))
+    if until is not None:
+        sim._now = until

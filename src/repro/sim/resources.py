@@ -96,16 +96,42 @@ class Server:
             raise SimulationError(f"Server {self.name!r}: release without request")
         if self._waiting:
             grant = self._waiting.popleft()
-            grant.succeed()  # slot transfers directly to the next waiter
+            if grant._pooled:
+                # serve()'s grants are pre-triggered pooled relays;
+                # scheduling one is the succeed() equivalent (same
+                # single heap push, same ordering).
+                self.sim._schedule(grant)
+            else:
+                grant.succeed()  # slot transfers directly to the next waiter
         else:
-            self.in_use -= 1
-            self._note_busy_edge(starting=False)
+            in_use = self.in_use - 1
+            self.in_use = in_use
+            if in_use == 0 and self._busy_since is not None:
+                # _note_busy_edge(starting=False), inlined
+                self._busy_time += self.sim.now - self._busy_since
+                self._busy_since = None
 
     def serve(self, duration: float) -> Generator[Event, Any, None]:
-        """Acquire a slot, hold it for ``duration``, release it."""
-        yield self.request()
+        """Acquire a slot, hold it for ``duration``, release it.
+
+        The grant is a kernel-pooled relay rather than a fresh Event:
+        unlike :meth:`request`'s return value it is never exposed to the
+        caller, so the fast loop can recycle it the moment it fires.
+        """
+        sim = self.sim
+        self.total_requests += 1
+        grant = sim._relay()
+        if self.in_use < self.capacity and not self._waiting:
+            in_use = self.in_use + 1
+            self.in_use = in_use
+            if in_use == 1:    # _note_busy_edge(starting=True), inlined
+                self._busy_since = sim.now
+            sim._schedule(grant)
+        else:
+            self._waiting.append(grant)
+        yield grant
         try:
-            yield self.sim.timeout(duration)
+            yield sim.pause(duration)
         finally:
             self.release()
 
