@@ -73,7 +73,15 @@ class ActiveDiskNode:
                        if sim.faults.enabled else None)
         self.comm_probe = StreamBufferProbe(
             sim.telemetry, f"disk.{index}.comm.buffers",
-            layout.comm_buffers, faults=self.faults)
+            layout.comm_buffers, faults=self.faults,
+            invariants=sim.invariants if sim.invariants.enabled else None)
+        # Armed-only scratch ledger: phases reserve their scratch at
+        # start and release it at end; exceeding the static DiskOS
+        # layout is a memory-budget violation (no runtime allocation).
+        self.scratch_audit = None
+        if sim.invariants.enabled:
+            self.scratch_audit = sim.invariants.memory_auditor(
+                f"diskos.{index}.scratch", layout.scratch)
         self.read_cursors: Dict = {}
         half = self.drive.geometry.total_sectors // 2
         self.write_cursor = half
@@ -335,6 +343,19 @@ class ActiveDiskMachine(Machine):
             fe.bytes_received += nbytes
         finally:
             latch.done()
+
+    def _frontend_bytes_observed(self) -> int:
+        return self.frontend.bytes_received
+
+    def _audit_scratch(self, phase: Phase, active: bool) -> None:
+        what = f"{phase.name}: scratch_bytes={phase.scratch_bytes}"
+        for node in self.nodes:
+            if node.scratch_audit is None:
+                continue
+            if active:
+                node.scratch_audit.reserve(phase.scratch_bytes, what)
+            else:
+                node.scratch_audit.release(phase.scratch_bytes, what)
 
     def phase_barrier(self):
         """Front-end coordination round: every disklet posts completion

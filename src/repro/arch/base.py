@@ -217,6 +217,14 @@ class Machine(ABC):
         self.config = config
         self._phase_results: List[PhaseResult] = []
         self._recovery_pools: Dict[str, _RecoveryPool] = {}
+        # Invariant auditor: None unless armed, so every probe site in
+        # the worker loops pays one load and a branch when disarmed.
+        # Armed, it keeps per-phase byte ledgers (input processed,
+        # shuffle sent/delivered, stream fractions) that are settled at
+        # each phase boundary and at end of run.
+        self._audit = None
+        if sim.invariants.enabled:
+            self._audit = sim.invariants.machine_auditor(self)
 
     # -- hooks ----------------------------------------------------------------
     @property
@@ -252,6 +260,22 @@ class Machine(ABC):
         """Machine-specific counters for :attr:`RunResult.extras`."""
         return {}
 
+    def _frontend_bytes_observed(self) -> Optional[int]:
+        """Front-end byte counter for the armed conservation audit.
+
+        ``None`` (the default) skips the frontend ledger check;
+        machines with a front-end counter override this.
+        """
+        return None
+
+    def _audit_scratch(self, phase: Phase, active: bool) -> None:
+        """Armed-only notification that ``phase``'s scratch is (de)allocated.
+
+        The Active Disk machine overrides this to charge each node's
+        DiskOS scratch ledger; hosts with virtual memory have no static
+        budget to enforce.
+        """
+
     def phase_barrier(self) -> Generator[Event, Any, None]:
         """Global synchronization cost charged between phases.
 
@@ -276,6 +300,8 @@ class Machine(ABC):
     def recv_work(self, phase: Phase, dst: int, nbytes: int
                   ) -> Generator[Event, Any, None]:
         """Receiver-side CPU + write for a delivered shuffle batch."""
+        if self._audit is not None:
+            self._audit.delivered_shuffle(phase, nbytes)
         yield from self.charge_cpu(
             self.worker_cpu(dst), phase, phase.recv, nbytes)
         to_write = int(nbytes * phase.recv_write_fraction)
@@ -384,6 +410,8 @@ class Machine(ABC):
         for phase in program.phases:
             began = self.sim.now
             before = self._busy_snapshot()
+            if self._audit is not None:
+                self._audit_scratch(phase, active=True)
             latch = WorkLatch(self.sim)
             workers = [
                 self.sim.process(self.run_worker(phase, w, latch),
@@ -395,6 +423,9 @@ class Machine(ABC):
             pool = self._recovery_pools.get(phase.name)
             if pool is not None and pool.pending():
                 yield from self._recover_phase(phase, latch, pool)
+            if self._audit is not None:
+                self._audit_scratch(phase, active=False)
+                self._audit.phase_finished(phase)
             if tel.enabled:
                 tel.spans.instant("phase", f"{phase.name}: barrier", track)
             yield from self.phase_barrier()
@@ -567,6 +598,9 @@ class Machine(ABC):
         block = self.config.io_request_bytes
         depth = self.config.queue_depth
         streams = max(1, phase.read_streams)
+        audit = self._audit
+        if audit is not None:
+            audit.loop_started(phase)
 
         shuffle = Dribble(phase.shuffle_fraction)
         frontend = Dribble(phase.frontend_fraction)
@@ -607,6 +641,8 @@ class Machine(ABC):
                 shuffle_pending -= batch
                 dst = destinations[dst_index % len(destinations)]
                 dst_index += 1
+                if audit is not None:
+                    audit.sent_shuffle(phase, batch)
                 self.send_shuffle(phase, w, dst, batch, latch)
 
         def flush_frontend(force: bool):
@@ -615,6 +651,8 @@ class Machine(ABC):
                    or (force and frontend_pending > 0)):
                 batch = min(block, frontend_pending)
                 frontend_pending -= batch
+                if audit is not None:
+                    audit.sent_frontend(phase, batch)
                 self.send_frontend(phase, w, batch, latch)
 
         def write_batch(nbytes: int):
@@ -634,6 +672,8 @@ class Machine(ABC):
                 continue
             top_up()
             yield from self.charge_cpu(cpu, phase, phase.cpu, nbytes)
+            if audit is not None:
+                audit.processed(phase, nbytes)
             shuffle_pending += shuffle.take(nbytes)
             frontend_pending += frontend.take(nbytes)
             write_pending += local_write.take(nbytes)
@@ -656,6 +696,11 @@ class Machine(ABC):
                 on_failure(lost)
             return
 
+        if audit is not None:
+            if fixed_shuffle:
+                audit.fixed_shuffle(phase, fixed_shuffle)
+            if fixed_frontend:
+                audit.fixed_frontend(phase, fixed_frontend)
         shuffle_pending += fixed_shuffle
         frontend_pending += fixed_frontend
         flush_shuffle(force=True)

@@ -117,6 +117,9 @@ class ClusterMachine(Machine):
     def worker_cpu(self, w: int) -> Cpu:
         return self.nodes[w].cpu
 
+    def _frontend_bytes_observed(self):
+        return self.frontend_bytes
+
     def read_block(self, phase: Phase, w: int, nbytes: int,
                    stream: int) -> Generator[Event, Any, None]:
         node = self.nodes[w]

@@ -318,6 +318,9 @@ class SMPMachine(Machine):
         depth = self.config.queue_depth
         total = phase.read_bytes_total
         queue = self._state_for(phase).queue
+        audit = self._audit
+        if audit is not None:
+            audit.loop_started(phase)
 
         shuffle = Dribble(phase.shuffle_fraction)
         frontend = Dribble(phase.frontend_fraction)
@@ -337,11 +340,15 @@ class SMPMachine(Machine):
                 shuffle_pending -= batch
                 dst = destinations[dst_index % len(destinations)]
                 dst_index += 1
+                if audit is not None:
+                    audit.sent_shuffle(phase, batch)
                 self.send_shuffle(phase, w, dst, batch, latch)
             while (frontend_pending >= block
                    or (force and frontend_pending > 0)):
                 batch = min(block, frontend_pending)
                 frontend_pending -= batch
+                if audit is not None:
+                    audit.sent_frontend(phase, batch)
                 self.send_frontend(phase, w, batch, latch)
 
         reads = deque()
@@ -378,6 +385,8 @@ class SMPMachine(Machine):
                     name=f"{phase.name}-sr{w}")
                 outcome = yield retry
             yield from self.charge_cpu(cpu, phase, phase.cpu, nbytes)
+            if audit is not None:
+                audit.processed(phase, nbytes)
             shuffle_pending += shuffle.take(nbytes)
             frontend_pending += frontend.take(nbytes)
             write_pending += local_write.take(nbytes)
@@ -386,6 +395,11 @@ class SMPMachine(Machine):
                 write_pending -= block
                 yield from self._write_retry(phase, w, block)
 
+        if audit is not None:
+            if phase.shuffle_fixed_per_worker:
+                audit.fixed_shuffle(phase, phase.shuffle_fixed_per_worker)
+            if phase.frontend_fixed_per_worker:
+                audit.fixed_frontend(phase, phase.frontend_fixed_per_worker)
         shuffle_pending += phase.shuffle_fixed_per_worker
         frontend_pending += phase.frontend_fixed_per_worker
         flush(force=True)
@@ -414,6 +428,9 @@ class SMPMachine(Machine):
         hops = 2 * max(1, ceil(log2(max(2, self.config.num_boards))))
         per_hop = self.config.numa_latency + self.config.spinlock_cost
         yield self.sim.pause(hops * per_hop)
+
+    def _frontend_bytes_observed(self) -> int:
+        return self.frontend_bytes
 
     # -- reporting ------------------------------------------------------------------
     def collect_extras(self) -> Dict[str, float]:

@@ -9,8 +9,16 @@ Examples::
     python -m repro fig3
     python -m repro table1
     python -m repro doctor
+    python -m repro doctor --journal results/fig1.journal.jsonl
     python -m repro sweep fig1 --jobs 4 --retries 1 --scale 1/64
     python -m repro resume results/fig1.journal.jsonl
+    python -m repro audit --quick
+
+``audit`` arms the runtime conservation-law auditors
+(``docs/INVARIANTS.md``): a seeded batch of differential fuzz cells runs
+each small simulation through the audited fast kernel loop and the
+checked loop and requires bit-identical results, then Figure 1 is
+regenerated with every auditor armed and byte-compared to ``results/``.
 
 ``sweep`` runs a figure grid through the resilient harness: progress is
 journaled, workers are process-isolated (``--jobs``), hung cells time
@@ -187,9 +195,35 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: the journal's directory)")
     _add_harness_flags(resume)
 
-    sub.add_parser(
+    doctor = sub.add_parser(
         "doctor", help="check the environment and smoke-simulate one "
                        "second on each architecture")
+    doctor.add_argument("--journal", metavar="FILE", default=None,
+                        help="also summarize this sweep journal: cell "
+                             "counts plus any quarantined invariant "
+                             "violations with their ledgers")
+
+    audit = sub.add_parser(
+        "audit", help="arm the conservation-law auditors: differential "
+                      "fuzz of the kernel loops plus an armed Figure 1 "
+                      "identity check (see docs/INVARIANTS.md)")
+    audit.add_argument("--cells", type=int, default=None, metavar="N",
+                       help="differential fuzz cells (default 25; "
+                            "10 with --quick)")
+    audit.add_argument("--seed", type=int, default=0, metavar="S",
+                       help="fuzz batch seed (default 0)")
+    audit.add_argument("--quick", action="store_true",
+                       help="CI smoke setting: fewer cells, 16-disk "
+                            "identity column")
+    audit.add_argument("--journal", metavar="FILE", default=None,
+                       help="journal every fuzz cell (and any violation "
+                            "report) to this JSONL file")
+    audit.add_argument("--out-dir", default=None, metavar="DIR",
+                       help="write audit-violations.json here when "
+                            "anything fails")
+    audit.add_argument("--no-identity", action="store_true",
+                       help="skip the armed fig1 identity check "
+                            "(fuzz-only run)")
 
     bench = sub.add_parser(
         "bench", help="run the perf benchmark suites and write "
@@ -493,15 +527,98 @@ def _command_doctor(args) -> int:
         except Exception as exc:
             checks.append((f"smoke: select on {arch}", False, repr(exc)))
 
+    violated = {}
+    if getattr(args, "journal", None):
+        from .experiments import SweepJournal
+        try:
+            journal = SweepJournal.load(args.journal)
+        except (OSError, ValueError) as exc:
+            checks.append((f"journal {args.journal}", False, str(exc)))
+        else:
+            violated = journal.violated()
+            counts = journal.counts()
+            detail = ", ".join(f"{value} {status}"
+                               for status, value in counts.items()
+                               if value) or "empty"
+            if violated:
+                detail += f"; {len(violated)} invariant violation(s)"
+            checks.append((f"journal {args.journal}", not violated, detail))
+
     width = max(len(name) for name, _, _ in checks)
     for name, ok, detail in checks:
         status = "ok" if ok else "FAIL"
         line = f"  {name:<{width}}  {status}"
         print(f"{line}  {detail}" if detail else line)
+    for key, cell in sorted(violated.items()):
+        report = cell.violation
+        print(f"  violation in {key}: {report['component']}: "
+              f"{report['invariant']} at t={report['sim_time']:.6f}s")
+        print(f"    expected {report['expected']!r}, "
+              f"observed {report['observed']!r}"
+              + (f" ({report['detail']})" if report.get("detail") else ""))
     failed = [name for name, ok, _ in checks if not ok]
     print(f"doctor: {len(checks) - len(failed)}/{len(checks)} checks "
           f"passed" + (f"; failing: {', '.join(failed)}" if failed else ""))
     return 1 if failed else 0
+
+
+def _command_audit(args) -> int:
+    """Differential fuzz + armed fig1 identity; returns the exit code."""
+    import json
+    import time
+
+    from .invariants import InvariantViolation, armed
+    from .invariants.fuzz import run_fuzz
+    from .perfbench.e2e import IdentityDrift, fig1_identity_check
+
+    count = args.cells if args.cells is not None else (
+        10 if args.quick else 25)
+    began = time.perf_counter()
+    report = run_fuzz(count=count, seed=args.seed,
+                      journal_path=args.journal)
+    wall = time.perf_counter() - began
+    print(f"{report.summary()} in {wall:.1f}s wall")
+    for outcome in report.failures:
+        print(f"  FAIL {outcome.spec.key} [{outcome.status}]: "
+              f"{outcome.error}")
+    exit_code = 0 if report.ok else 1
+
+    identity_error = None
+    if not args.no_identity:
+        try:
+            with armed():
+                identity = fig1_identity_check(quick=args.quick)
+        except (IdentityDrift, InvariantViolation) as exc:
+            identity_error = f"{type(exc).__name__}: {exc}"
+            print(f"armed fig1 identity FAILED: {identity_error}",
+                  file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"armed fig1 identity: ok ({identity['cells']} cells "
+                  f"regenerated byte-identically with every auditor "
+                  f"armed, {identity['wall_s']:.1f}s wall)")
+
+    if args.out_dir and exit_code:
+        os.makedirs(args.out_dir, exist_ok=True)
+        path = os.path.join(args.out_dir, "audit-violations.json")
+        payload = {
+            "seed": args.seed,
+            "cells": count,
+            "failures": [
+                {"cell": outcome.spec.key, "status": outcome.status,
+                 "violation": outcome.violation, "diff": outcome.diff,
+                 "error": outcome.error}
+                for outcome in report.failures
+            ],
+            "identity_error": identity_error,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"violation reports: {path}", file=sys.stderr)
+    if args.journal:
+        print(f"journal: {args.journal}")
+    return exit_code
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -517,6 +634,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "doctor":
         return _command_doctor(args)
+    if args.command == "audit":
+        return _command_audit(args)
     if args.command == "bench":
         from .perfbench.e2e import IdentityDrift
         try:

@@ -126,6 +126,12 @@ class DiskDrive:
         if sim.faults.enabled:
             self.faults = sim.faults.register(fault_id or f"disk.{name}")
             self.faults.on("drive_failure", self._on_drive_failure)
+        # Invariant auditor: None unless armed, same zero-cost contract.
+        # Tracks request lifecycle (issued/completed/failed exactly once)
+        # and the media byte ledger against bytes_read/bytes_written.
+        self._audit = None
+        if sim.invariants.enabled:
+            self._audit = sim.invariants.drive_auditor(self)
         # The service loop idles forever between requests: a daemon by
         # design, excluded from SimStalled deadlock detection.
         self.process = sim.process(self._service_loop(), name=f"{name}-svc",
@@ -150,6 +156,8 @@ class DiskDrive:
             op=op, lbn=lbn, nbytes=nbytes,
             done=Event(self.sim), issued_at=self.sim.now)
         request.cylinder = self.geometry.cylinder_of_lbn(lbn)
+        if self._audit is not None:
+            self._audit.request_issued(request)
         self.queue.push(request)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
@@ -181,6 +189,8 @@ class DiskDrive:
         done._defused = True
         if self.faults is not None:
             self.faults.note("faults.disk.rejected_requests")
+        if self._audit is not None:
+            self._audit.request_refused()
         return done
 
     def _on_drive_failure(self, _spec) -> None:
@@ -194,6 +204,8 @@ class DiskDrive:
         for request in dropped:
             request.done._defused = True  # see _refuse
             request.done.fail(self._failure())
+            if self._audit is not None:
+                self._audit.request_failed(request)
         if dropped:
             port.note("faults.disk.dropped_requests", len(dropped))
         tel = self.sim.telemetry
@@ -339,4 +351,6 @@ class DiskDrive:
             tel.registry.histogram(f"{self._track}.response").observe(response)
             tel.registry.counter(
                 f"{self._track}.bytes.{request.op}").add(request.nbytes)
+        if self._audit is not None:
+            self._audit.request_completed(request)
         request.done.succeed(request)

@@ -93,9 +93,17 @@ class StreamBufferProbe:
     owning machine model a ``stream_stall`` window — DiskOS withholding
     buffer grants, e.g. while its buffer cache recovers — by blocking
     the requester until the window clears.
+
+    With an armed invariant hub attached (``invariants``), the probe
+    registers for periodic occupancy sweeps and :meth:`acquire` raises a
+    structured ``occupancy-bounds`` violation the instant the pool is
+    over-granted — the buffers are a fixed slice of the DiskOS memory
+    layout, so holding more than ``capacity`` means the credit gate
+    leaked.
     """
 
-    def __init__(self, telemetry, name: str, capacity: int, faults=None):
+    def __init__(self, telemetry, name: str, capacity: int, faults=None,
+                 invariants=None):
         if capacity < 1:
             raise ValueError(f"{name}: buffer pool capacity must be >= 1")
         self.name = name
@@ -104,6 +112,10 @@ class StreamBufferProbe:
         self.faults = faults
         self._series = (telemetry.registry.series(name)
                         if telemetry.enabled else None)
+        self._audit = None
+        if invariants is not None and invariants.enabled:
+            self._audit = invariants
+            invariants.watch_probe(self)
 
     def stall_wait(self, sim):
         """Generator: block while a ``stream_stall`` fault is active."""
@@ -115,6 +127,13 @@ class StreamBufferProbe:
     def acquire(self) -> None:
         """Note one buffer granted (call after the credit is held)."""
         self.held += 1
+        if self._audit is not None and self.held > self.capacity:
+            self._audit.fail(
+                f"buffer.{self.name}", "occupancy-bounds",
+                expected=f"held <= {self.capacity}",
+                observed=self.held,
+                detail="a buffer was granted past the fixed DiskOS pool "
+                       "(credit gate bypassed or leaked)")
         if self._series is not None:
             self._series.set(float(self.held))
 

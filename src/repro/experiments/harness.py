@@ -20,7 +20,7 @@ default. With one, any driver sweep becomes restartable::
 
 Harness activity is observable: every runner keeps ``harness.*``
 counters (``resumed_cells``, ``retries``, ``timeouts``, ``crashes``,
-``completed``, ``quarantined``) and mirrors them into a
+``violations``, ``completed``, ``quarantined``) and mirrors them into a
 :class:`~repro.telemetry.Telemetry` hub's metric registry when one is
 supplied.
 """
@@ -42,7 +42,7 @@ __all__ = ["SweepRunner", "SweepInterrupted", "execute_cells",
 
 #: Counter names every runner tracks (and mirrors into telemetry).
 COUNTERS = ("scheduled", "resumed_cells", "completed", "retries",
-            "timeouts", "crashes", "quarantined")
+            "timeouts", "crashes", "violations", "quarantined")
 
 
 class SweepInterrupted(Exception):
@@ -139,6 +139,8 @@ class SweepRunner:
                 self._count("timeouts")
             elif kind == "crashed":
                 self._count("crashes")
+            elif kind == "violation":
+                self._count("violations")
 
         def on_outcome(outcome: CellOutcome) -> None:
             if outcome.status == "done":
@@ -155,7 +157,8 @@ class SweepRunner:
                     journal.note_cell(
                         outcome.key, "quarantined",
                         attempt=outcome.attempts - 1,
-                        error=_last_line(outcome.error or ""))
+                        error=_last_line(outcome.error or ""),
+                        violation=outcome.violation)
             if after_cell is not None:
                 after_cell(outcome)
 

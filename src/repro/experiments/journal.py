@@ -46,6 +46,7 @@ class CellState:
     attempt: int = 0
     result: Optional[Dict] = None
     error: Optional[str] = None
+    violation: Optional[Dict] = None
     failures: List[str] = field(default_factory=list)
 
 
@@ -114,8 +115,11 @@ class SweepJournal:
         if status == "done":
             cell.result = record.get("result")
             cell.error = None
+            cell.violation = None
         elif status in ("failed", "quarantined"):
             cell.error = record.get("error")
+            if record.get("violation") is not None:
+                cell.violation = record["violation"]
             if record.get("error"):
                 cell.failures.append(record["error"])
 
@@ -157,7 +161,8 @@ class SweepJournal:
                   config_hash: Optional[str] = None,
                   attempt: Optional[int] = None,
                   result: Optional[Dict] = None,
-                  error: Optional[str] = None) -> None:
+                  error: Optional[str] = None,
+                  violation: Optional[Dict] = None) -> None:
         if status not in STATUSES:
             raise ValueError(f"bad status {status!r}")
         record: Dict = {"kind": "cell", "key": key, "status": status}
@@ -171,6 +176,8 @@ class SweepJournal:
             record["result"] = result
         if error is not None:
             record["error"] = error
+        if violation is not None:
+            record["violation"] = violation
         self._append(record)
 
     def close(self) -> None:
@@ -197,6 +204,11 @@ class SweepJournal:
         """
         return {key: cell for key, cell in self.cells.items()
                 if cell.status != "done"}
+
+    def violated(self) -> Dict[str, CellState]:
+        """Cells whose latest failure was an invariant violation."""
+        return {key: cell for key, cell in self.cells.items()
+                if cell.violation is not None}
 
     def counts(self) -> Dict[str, int]:
         out = {status: 0 for status in STATUSES}

@@ -68,7 +68,8 @@ def config_for(arch: str, num_disks: int, **overrides) -> ArchConfig:
 def run_task(config: ArchConfig, task: str,
              scale: float = DEFAULT_SCALE,
              telemetry=None, fault_plan=None,
-             fault_seed: Optional[int] = None) -> RunResult:
+             fault_seed: Optional[int] = None,
+             invariants=None, debug: bool = False) -> RunResult:
     """Simulate ``task`` on a fresh machine built from ``config``.
 
     Pass a fresh :class:`~repro.telemetry.Telemetry` hub to record a
@@ -82,8 +83,22 @@ def run_task(config: ArchConfig, task: str,
     register their fault ports), and the run's fault counters are merged
     into :attr:`RunResult.extras`. ``fault_seed`` overrides the plan's
     own seed; identical (plan, seed) pairs replay identical timelines.
+
+    Pass an armed :class:`~repro.invariants.InvariantAuditor` (or enter
+    the :func:`repro.invariants.armed` context, which makes every
+    ``run_task`` build its own) to audit the run's conservation laws:
+    the hub is installed before the machine is built so every component
+    self-registers, and any broken ledger raises a structured
+    :class:`~repro.invariants.InvariantViolation`. ``debug=True`` runs
+    the checked kernel loop instead of the fast one (same simulation,
+    more per-event validation).
     """
-    sim = Simulator()
+    sim = Simulator(debug=debug)
+    if invariants is None:
+        from ..invariants import default_auditor
+        invariants = default_auditor()
+    if invariants is not None:
+        invariants.install(sim)
     if telemetry is not None:
         telemetry.install(sim)
         telemetry.meta.update({

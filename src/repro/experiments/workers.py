@@ -56,6 +56,7 @@ class CellSpec:
     fault_disk: Optional[int] = None
     fault_at: Optional[float] = None
     fault_seed: int = 0
+    audit: bool = False
 
     @property
     def key(self) -> str:
@@ -113,10 +114,22 @@ def build_config(spec: CellSpec):
     return config
 
 
-def run_cell(spec: CellSpec) -> RunResult:
-    """Run one cell to completion in the current process."""
+def run_cell(spec: CellSpec, invariants=None,
+             debug: bool = False) -> RunResult:
+    """Run one cell to completion in the current process.
+
+    ``spec.audit`` arms a fresh
+    :class:`~repro.invariants.InvariantAuditor` for the run (unless the
+    caller passes its own via ``invariants``); a broken conservation law
+    then raises :class:`~repro.invariants.InvariantViolation`, which the
+    pool quarantines immediately — a deterministic modelling defect is
+    not worth retrying. ``debug=True`` selects the checked kernel loop.
+    """
     from .runner import run_task
 
+    if invariants is None and spec.audit:
+        from ..invariants import InvariantAuditor
+        invariants = InvariantAuditor()
     fault_plan = None
     if spec.fault_disk is not None:
         from ..faults import FaultPlan, FaultSpec
@@ -125,7 +138,8 @@ def run_cell(spec: CellSpec) -> RunResult:
                       at=spec.fault_at or 0.0),
             seed=spec.fault_seed)
     return run_task(build_config(spec), spec.task, spec.scale,
-                    fault_plan=fault_plan)
+                    fault_plan=fault_plan, invariants=invariants,
+                    debug=debug)
 
 
 @dataclass
@@ -137,6 +151,7 @@ class CellOutcome:
     attempts: int
     result: Optional[RunResult] = None
     error: Optional[str] = None
+    violation: Optional[Dict] = None
     failures: List[str] = field(default_factory=list)
 
     @property
@@ -147,9 +162,18 @@ class CellOutcome:
 # ----------------------------------------------------------- subprocess
 def _worker_main(cell_fn, spec_dict: Dict, conn) -> None:
     """Entry point of one worker subprocess: run one cell, pipe it back."""
+    from ..invariants import InvariantViolation
     try:
         result = cell_fn(CellSpec.from_dict(spec_dict))
         conn.send(("ok", result_to_dict(result)))
+    except InvariantViolation as violation:
+        try:
+            conn.send(("violation", {
+                "report": violation.report(),
+                "error": traceback.format_exc(limit=20),
+            }))
+        except BrokenPipeError:  # pragma: no cover - supervisor died
+            pass
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc(limit=20)))
@@ -206,8 +230,12 @@ def run_cells(specs: Sequence[CellSpec], *,
     Callbacks fire in the supervising process, in event order:
     ``on_start(spec, attempt)`` when an attempt launches,
     ``on_attempt_failed(spec, attempt, error, kind)`` when one fails
-    (``kind`` is ``"error"``, ``"timeout"`` or ``"crashed"``), and
-    ``on_outcome(outcome)`` once per cell at its terminal state.
+    (``kind`` is ``"error"``, ``"timeout"``, ``"crashed"`` or
+    ``"violation"``), and ``on_outcome(outcome)`` once per cell at its
+    terminal state. An :class:`~repro.invariants.InvariantViolation` is
+    deterministic — the cell is quarantined immediately, with the
+    violation's structured ledger on the outcome, instead of burning
+    retries on a modelling defect.
     ``KeyboardInterrupt`` (and the SIGTERM handler that re-raises as
     one) propagates out of this function after every live worker has
     been terminated — no orphan processes.
@@ -239,6 +267,7 @@ def _finish(outcomes: List[CellOutcome], outcome: CellOutcome,
 
 def _run_inline(specs, *, retries, backoff, cell_fn,
                 on_start, on_attempt_failed, on_outcome):
+    from ..invariants import InvariantViolation
     outcomes: List[CellOutcome] = []
     for spec in specs:
         failures: List[str] = []
@@ -247,6 +276,17 @@ def _run_inline(specs, *, retries, backoff, cell_fn,
                 on_start(spec, attempt)
             try:
                 result = cell_fn(spec)
+            except InvariantViolation as violation:
+                error = traceback.format_exc(limit=20)
+                failures.append(error)
+                if on_attempt_failed is not None:
+                    on_attempt_failed(spec, attempt, error, "violation")
+                _finish(outcomes,
+                        CellOutcome(spec, "quarantined", attempt + 1,
+                                    error=error,
+                                    violation=violation.report(),
+                                    failures=failures), on_outcome)
+                break
             except Exception:
                 error = traceback.format_exc(limit=20)
                 failures.append(error)
@@ -275,12 +315,15 @@ def _run_pool(specs, *, jobs, timeout, retries, backoff, cell_fn,
     failures_of: Dict[str, List[str]] = {spec.key: [] for spec in specs}
     outcomes: List[CellOutcome] = []
 
-    def attempt_failed(entry: _Running, error: str, kind: str) -> None:
+    def attempt_failed(entry: _Running, error: str, kind: str,
+                       violation: Optional[Dict] = None) -> None:
         failures = failures_of[entry.spec.key]
         failures.append(error)
         if on_attempt_failed is not None:
             on_attempt_failed(entry.spec, entry.attempt, error, kind)
-        if entry.attempt < retries:
+        # Violations are deterministic modelling defects: retrying would
+        # replay the identical simulation into the identical violation.
+        if kind != "violation" and entry.attempt < retries:
             not_before = time.monotonic() + backoff * (2 ** entry.attempt)
             queue.append((entry.spec, entry.attempt + 1, not_before,
                           failures))
@@ -288,6 +331,7 @@ def _run_pool(specs, *, jobs, timeout, retries, backoff, cell_fn,
             _finish(outcomes,
                     CellOutcome(entry.spec, "quarantined",
                                 entry.attempt + 1, error=error,
+                                violation=violation,
                                 failures=list(failures)), on_outcome)
 
     try:
@@ -337,6 +381,9 @@ def _run_pool(specs, *, jobs, timeout, retries, backoff, cell_fn,
                                     failures=list(
                                         failures_of[entry.spec.key])),
                                 on_outcome)
+                    elif kind == "violation":
+                        attempt_failed(entry, payload["error"], "violation",
+                                       violation=payload["report"])
                     elif kind == "error":
                         attempt_failed(entry, payload, "error")
                     else:

@@ -63,6 +63,10 @@ class SerialBus:
         self.faults = None
         if sim.faults.enabled:
             self.faults = sim.faults.register(f"bus.{name}")
+        self._audit = None
+        if sim.invariants.enabled:
+            self._audit = sim.invariants.bus_auditor(
+                f"bus.{name}", moved=lambda: self.bytes_moved.value)
 
     def occupancy(self) -> int:
         """Transfers in service plus waiting."""
@@ -90,6 +94,9 @@ class SerialBus:
         if fp is not None and fp.active:
             yield from fp.wait_out(self.sim, kinds=("loop_outage",),
                                    counter="faults.bus.outage_waits")
+        audit = self._audit
+        if audit is not None:
+            audit.begin(nbytes)
         tel = self.sim.telemetry
         if tel.enabled:
             yield from self._traced_transfer(tel, nbytes, began)
@@ -98,6 +105,8 @@ class SerialBus:
         if fp is not None and fp.active:
             yield from self._transient_retries(fp, nbytes)
         self.bytes_moved.add(nbytes)
+        if audit is not None:
+            audit.end(nbytes)
         self.transfer_times.observe(self.sim.now - began)
 
     def _transient_retries(self, fp, nbytes: int):

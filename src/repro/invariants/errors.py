@@ -1,0 +1,73 @@
+"""Structured invariant-violation error.
+
+An :class:`InvariantViolation` is raised by an armed auditor the moment a
+conservation law breaks. It carries the component path, the simulated
+time of detection, and an expected-vs-observed ledger, and it renders all
+of that into a JSON-serializable :meth:`~InvariantViolation.report` so
+the sweep harness can quarantine the cell with the evidence attached
+instead of a bare traceback.
+
+It subclasses :class:`~repro.sim.core.SimulationError` deliberately: a
+broken conservation law means the simulated physics are wrong, which is
+the same class of defect as a kernel-protocol breach.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..sim.core import SimulationError
+
+__all__ = ["InvariantViolation"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce ledger values to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(val) for val in value]
+    return repr(value)
+
+
+class InvariantViolation(SimulationError):
+    """A conservation-law auditor observed an impossible state.
+
+    Attributes:
+        component: dotted path of the violating component
+            (``drive.adisk0``, ``arch.active.phase.scan``, ...).
+        invariant: short name of the broken law (``byte-conservation``,
+            ``request-lifecycle``, ``memory-budget``, ...).
+        sim_time: simulated seconds at the moment of detection.
+        ledger: ``{"expected": ..., "observed": ...}`` evidence.
+        detail: optional free-form context.
+    """
+
+    def __init__(self, component: str, invariant: str, sim_time: float,
+                 expected: Any, observed: Any, detail: str = ""):
+        self.component = component
+        self.invariant = invariant
+        self.sim_time = sim_time
+        self.expected = expected
+        self.observed = observed
+        self.detail = detail
+        self.ledger = {"expected": expected, "observed": observed}
+        message = (f"{component}: invariant {invariant!r} violated at "
+                   f"t={sim_time:.9f}s: expected {expected!r}, "
+                   f"observed {observed!r}")
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-serializable violation report for journals and the CLI."""
+        return {
+            "component": self.component,
+            "invariant": self.invariant,
+            "sim_time": self.sim_time,
+            "expected": _jsonable(self.expected),
+            "observed": _jsonable(self.observed),
+            "detail": self.detail,
+        }

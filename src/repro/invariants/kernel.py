@@ -1,0 +1,130 @@
+"""The audited kernel loop: ``_run_fast`` with conservation checks.
+
+:func:`run_audited` is a third twin of the kernel's run loops (fast /
+checked / audited), selected by :meth:`Simulator.run` when an armed
+:class:`~repro.invariants.InvariantAuditor` is installed. It mirrors the
+fast loop exactly — same pop order, same pooled-event recycling, same
+stall detection — and adds only *observations*:
+
+* clock monotonicity — a queued event timestamped before the current
+  clock is a kernel-protocol breach (raised as a structured
+  ``clock-monotonicity`` violation; the fast and checked loops raise the
+  same defect as a plain ``SimulationError``);
+* event-heap sanity — a popped event whose callbacks are already gone
+  was scheduled twice, or a pooled event escaped its recycling contract;
+* a periodic resource sweep (every ``hub.period`` events) over all
+  watched servers, stream buffers and memory ledgers.
+
+Because the audits never schedule events, spawn processes, or touch the
+clock, an armed run is bit-identical to a disarmed one.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop
+from typing import Optional
+
+from ..sim.core import SimStalled, Simulator, Timeout
+
+__all__ = ["run_audited"]
+
+
+def run_audited(sim: Simulator, until: Optional[float]) -> None:
+    """Run the kernel loop with invariant audits armed."""
+    hub = sim.invariants
+    queue = sim._queue
+    pop = heappop
+    relay_pool = sim._relay_pool
+    timeout_pool = sim._timeout_pool
+    timeout_cls = Timeout
+    period = hub.period
+    stride = 0
+    count = 0
+    try:
+        if until is None:
+            while queue:
+                when, _, event = pop(queue)
+                if when < sim._now:
+                    hub.fail(
+                        "sim.kernel", "clock-monotonicity",
+                        expected=f"next event at or after t={sim._now!r}",
+                        observed=f"event scheduled at t={when!r}",
+                        detail="event scheduled in the past")
+                callbacks = event.callbacks
+                if callbacks is None:
+                    hub.fail(
+                        "sim.kernel", "event-heap",
+                        expected="every queued event is unprocessed",
+                        observed=f"already-processed {event!r} queued "
+                                 f"for t={when!r}",
+                        detail="an event was scheduled twice, or a "
+                               "pooled event escaped its recycler")
+                sim._now = when
+                count += 1
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event.value
+                if event._pooled:
+                    # Recycle exactly like the fast loop (see _run_fast).
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    if event.__class__ is timeout_cls:
+                        timeout_pool.append(event)
+                    else:
+                        event.value = None
+                        event._ok = True
+                        event._defused = False
+                        relay_pool.append(event)
+                stride += 1
+                if stride >= period:
+                    stride = 0
+                    hub.sweep()
+            if sim._alive:
+                raise SimStalled(sorted(p.name for p in sim._alive))
+        else:
+            while queue:
+                if queue[0][0] > until:
+                    break
+                when, _, event = pop(queue)
+                if when < sim._now:
+                    hub.fail(
+                        "sim.kernel", "clock-monotonicity",
+                        expected=f"next event at or after t={sim._now!r}",
+                        observed=f"event scheduled at t={when!r}",
+                        detail="event scheduled in the past")
+                callbacks = event.callbacks
+                if callbacks is None:
+                    hub.fail(
+                        "sim.kernel", "event-heap",
+                        expected="every queued event is unprocessed",
+                        observed=f"already-processed {event!r} queued "
+                                 f"for t={when!r}",
+                        detail="an event was scheduled twice, or a "
+                               "pooled event escaped its recycler")
+                sim._now = when
+                count += 1
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event.value
+                if event._pooled:
+                    # Recycle exactly like the fast loop (see _run_fast).
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    if event.__class__ is timeout_cls:
+                        timeout_pool.append(event)
+                    else:
+                        event.value = None
+                        event._ok = True
+                        event._defused = False
+                        relay_pool.append(event)
+                stride += 1
+                if stride >= period:
+                    stride = 0
+                    hub.sweep()
+            sim._now = until
+    finally:
+        sim.event_count += count

@@ -92,6 +92,10 @@ class Messaging:
         self.cpus = cpus
         self.mailboxes = [Mailbox(self.sim, h) for h in range(num_hosts)]
         self._barrier_waiting: Dict[Any, List[Event]] = {}
+        self._audit = None
+        if self.sim.invariants.enabled:
+            self._audit = self.sim.invariants.messaging_auditor(
+                "net.messaging", num_hosts)
 
     def _charge_cpu(self, host: int,
                     seconds: float) -> Generator[Event, Any, None]:
@@ -179,6 +183,8 @@ class Messaging:
         wire cost approximated by two small-message hops (the real
         implementation's critical path).
         """
+        if self._audit is not None:
+            self._audit.join("barrier", key, host, participants)
         waiting = self._barrier_waiting.setdefault(key, [])
         release = Event(self.sim)
         waiting.append(release)
@@ -197,6 +203,8 @@ class Messaging:
     def reduce_to_root(self, host: int, root: int, nbytes: int,
                        key: Any) -> Generator[Event, Any, None]:
         """Each non-root sends ``nbytes`` to ``root``; root collects all."""
+        if self._audit is not None:
+            self._audit.join("reduce", key, host, self.num_hosts)
         if host == root:
             for _ in range(self.num_hosts - 1):
                 yield from self.recv(host, tag=("reduce", key))
@@ -210,6 +218,8 @@ class Messaging:
         All hosts must call with the same ``key``. Implemented over
         rank-relative-to-root numbering so any root works.
         """
+        if self._audit is not None:
+            self._audit.join("bcast", key, host, self.num_hosts)
         n = self.num_hosts
         rank = (host - root) % n
         strides = []
@@ -228,6 +238,8 @@ class Messaging:
     def scatter(self, host: int, root: int, nbytes_each: int,
                 key: Any) -> Generator[Event, Any, None]:
         """Root sends a distinct ``nbytes_each`` block to every host."""
+        if self._audit is not None:
+            self._audit.join("scatter", key, host, self.num_hosts)
         if host == root:
             for dst in range(self.num_hosts):
                 if dst != root:
@@ -239,6 +251,8 @@ class Messaging:
     def gather(self, host: int, root: int, nbytes_each: int,
                key: Any) -> Generator[Event, Any, None]:
         """Every host sends ``nbytes_each`` to the root."""
+        if self._audit is not None:
+            self._audit.join("gather", key, host, self.num_hosts)
         if host == root:
             for _ in range(self.num_hosts - 1):
                 yield from self.recv(host, ("ga", key))
@@ -254,6 +268,8 @@ class Messaging:
         candidate counters (dmine) without melting any single link.
         All ``num_hosts`` hosts must call this with the same ``key``.
         """
+        if self._audit is not None:
+            self._audit.join("allreduce", key, host, self.num_hosts)
         n = self.num_hosts
         # Reduce phase: at round r, hosts with bit r set send to the
         # partner with that bit cleared, then drop out.

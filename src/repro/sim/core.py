@@ -428,6 +428,7 @@ class Simulator:
     def __init__(self, trace: Optional[Callable[[float, Event], None]] = None,
                  debug: bool = False):
         from ..faults import NULL_FAULTS
+        from ..invariants import NULL_INVARIANTS
         from ..telemetry import NULL_TELEMETRY
         self._now = 0.0
         # Heap entries are [time, seq, event] *lists*, not tuples: on
@@ -443,6 +444,7 @@ class Simulator:
         self.event_count = 0
         self.telemetry = NULL_TELEMETRY
         self.faults = NULL_FAULTS
+        self.invariants = NULL_INVARIANTS
         self._hooks: List[Any] = []
         self._alive: set = set()
         # Recycled kernel objects: relay/bootstrap/interrupt events and
@@ -602,22 +604,27 @@ class Simulator:
     def _run_fast(self, until: Optional[float]) -> None:
         """The hot loop: heappop / advance clock / fire callbacks.
 
-        Per-event checks (past-time assertion, trace hook) live in
-        :meth:`step`, selected once per :meth:`run` call instead of
-        being re-tested per event; pooled relay/pause events are
-        recycled here the moment their callbacks have run.
+        The past-time assertion matches :meth:`step` (same exception
+        class and message for the same defect in either loop); the
+        trace hook lives only in :meth:`step`, selected once per
+        :meth:`run` call instead of being re-tested per event. Pooled
+        relay/pause events are recycled here the moment their callbacks
+        have run.
         """
         queue = self._queue
         pop = heappop
         relay_pool = self._relay_pool
         timeout_pool = self._timeout_pool
         timeout_cls = Timeout
+        now = self._now
         count = 0
         try:
             if until is None:
                 while queue:
                     when, _, event = pop(queue)
-                    self._now = when
+                    if when < now:
+                        raise SimulationError("event scheduled in the past")
+                    self._now = now = when
                     count += 1
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -645,7 +652,9 @@ class Simulator:
                     if queue[0][0] > until:
                         break
                     when, _, event = pop(queue)
-                    self._now = when
+                    if when < now:
+                        raise SimulationError("event scheduled in the past")
+                    self._now = now = when
                     count += 1
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -674,9 +683,11 @@ class Simulator:
         """Run until the event queue drains or the clock reaches ``until``.
 
         With a trace installed or ``debug=True`` the run goes through
-        the checked per-event loop (see :mod:`repro.sim.debug`);
-        otherwise the inlined fast loop processes events with the
-        per-event checks hoisted out.
+        the checked per-event loop (see :mod:`repro.sim.debug`); with
+        an armed :class:`~repro.invariants.InvariantAuditor` installed
+        it goes through the audited loop (see
+        :mod:`repro.invariants.kernel`); otherwise the inlined fast
+        loop processes events with the per-event checks hoisted out.
 
         Raises
         ------
@@ -695,6 +706,9 @@ class Simulator:
             if self._debug or self._trace is not None:
                 from .debug import run_checked
                 run_checked(self, until)
+            elif self.invariants.enabled:
+                from ..invariants.kernel import run_audited
+                run_audited(self, until)
             else:
                 self._run_fast(until)
         finally:

@@ -45,6 +45,11 @@ class Server:
         self.capacity = capacity
         self.name = name
         self.in_use = 0
+        if sim.invariants.enabled:
+            # Armed runs sweep every server for occupancy/queue/
+            # utilization bounds; registration is construction-time
+            # only, so the disarmed request/release paths are untouched.
+            sim.invariants.watch_server(self)
         self._waiting: Deque[Event] = deque()
         # accounting
         self._busy_time = 0.0
