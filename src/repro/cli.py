@@ -13,6 +13,9 @@ Examples::
     python -m repro sweep fig1 --jobs 4 --retries 1 --scale 1/64
     python -m repro resume results/fig1.journal.jsonl
     python -m repro audit --quick
+    python -m repro serve --workers 2
+    python -m repro submit fig1 --scale 1/64 --wait
+    python -m repro status
 
 ``audit`` arms the runtime conservation-law auditors
 (``docs/INVARIANTS.md``): a seeded batch of differential fuzz cells runs
@@ -25,6 +28,11 @@ journaled, workers are process-isolated (``--jobs``), hung cells time
 out (``--timeout``), failing cells retry then quarantine (``--retries``),
 and a killed sweep picks up where it left off via ``resume`` (see
 ``docs/HARNESS.md``).
+
+``serve`` / ``submit`` / ``status`` / ``worker`` are the distributed
+sweep service: a coordinator with a persistent job queue dispatches
+cells to heartbeating workers over a socket, reassigning the cells of
+any worker that dies mid-run (see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from .experiments import (
     run_table2,
     run_task,
 )
+from .service.requests import FIGURES
 from .workloads import registered_tasks
 
 __all__ = ["main", "parse_scale"]
@@ -53,14 +62,9 @@ __all__ = ["main", "parse_scale"]
 DEFAULT_SCALE = "1/32"
 
 #: Figure sweeps the harness commands know how to run and resume:
-#: name -> (driver kwargs builder support for tasks?, default sizes).
-FIG_SWEEPS = {
-    "fig1": (16, 32, 64, 128),
-    "fig2": (64, 128),
-    "fig3": (16, 32, 64, 128),
-    "fig4": (16, 32, 64, 128),
-    "fig5": (32, 64, 128),
-}
+#: name -> default farm sizes (one source of truth with the service).
+FIG_SWEEPS = {name: driver.default_sizes
+              for name, driver in FIGURES.items()}
 
 
 def parse_scale(text: str) -> float:
@@ -194,6 +198,77 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rewrite figure artifacts here on completion "
                              "(default: the journal's directory)")
     _add_harness_flags(resume)
+
+    serve = sub.add_parser(
+        "serve", help="run the sweep service: coordinator plus N local "
+                      "workers (see docs/SERVICE.md)")
+    serve.add_argument("--socket", metavar="ADDR", default=None,
+                       help="unix socket path or host:port to listen on "
+                            "(default <state-dir>/coordinator.sock)")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="queue + job journals directory "
+                            "(default results/service)")
+    serve.add_argument("--out-dir", default="results",
+                       help="artifact directory for finished jobs "
+                            "(default results)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="local worker processes to spawn (default 2; "
+                            "0 = coordinator only, attach with "
+                            "'repro worker')")
+    serve.add_argument("--retries", type=int, default=1, metavar="K",
+                       help="attempts before a cell is quarantined "
+                            "(default 1); lost workers consume attempts")
+    serve.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-cell timeout on each worker (implies "
+                            "subprocess isolation; default none)")
+    serve.add_argument("--heartbeat", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="worker heartbeat interval (default 0.5; "
+                            "missing ~6 in a row loses the worker)")
+    serve.add_argument("--exit-after-jobs", type=int, default=None,
+                       metavar="N",
+                       help="exit once N jobs reach done/failed "
+                            "(for scripts and CI; default: serve forever)")
+
+    submit = sub.add_parser(
+        "submit", help="enqueue a figure sweep on a running service")
+    submit.add_argument("figure", choices=sorted(FIG_SWEEPS))
+    submit.add_argument("--sizes", type=_parse_sizes, default=None)
+    submit.add_argument("--tasks", type=_parse_tasks, default=None,
+                        help="task subset (ignored by fig3)")
+    submit.add_argument("--scale", type=parse_scale, default=DEFAULT_SCALE)
+    submit.add_argument("--socket", metavar="ADDR", default=None,
+                        help="coordinator address (default "
+                             "results/service/coordinator.sock)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job is done/failed and exit "
+                             "nonzero on failure")
+    submit.add_argument("--wait-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="give up waiting after this long")
+
+    status = sub.add_parser(
+        "status", help="show a running service's queue, workers and "
+                       "counters")
+    status.add_argument("--socket", metavar="ADDR", default=None,
+                        help="coordinator address (default "
+                             "results/service/coordinator.sock)")
+
+    worker = sub.add_parser(
+        "worker", help="attach one extra worker to a running service")
+    worker.add_argument("--socket", metavar="ADDR", default=None,
+                        help="coordinator address (default "
+                             "results/service/coordinator.sock)")
+    worker.add_argument("--id", dest="worker_id", default=None,
+                        help="worker name in journals and status output "
+                             "(default pid<N>)")
+    worker.add_argument("--heartbeat", type=float, default=0.5,
+                        metavar="SECONDS")
+    worker.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell timeout (implies subprocess "
+                             "isolation; default none)")
 
     doctor = sub.add_parser(
         "doctor", help="check the environment and smoke-simulate one "
@@ -367,41 +442,19 @@ def _run_figure_sweep(figure: str, sizes, tasks, scale: float,
                       jobs: int, timeout: Optional[float],
                       retries: int) -> str:
     """Run one figure through the harness and write crash-safe artifacts."""
-    from .experiments import (
-        SweepRunner,
-        fig1_rows, fig2_rows, fig3_rows, fig4_rows, fig5_rows,
-        run_fig1, run_fig2, run_fig3, run_fig4, run_fig5,
-        rows_to_csv,
-    )
-    from .experiments.artifacts import atomic_write_text, write_manifest
+    from .experiments import SweepRunner
+    from .service.requests import SweepRequest
 
-    drivers = {
-        "fig1": (run_fig1, fig1_rows, True),
-        "fig2": (run_fig2, fig2_rows, True),
-        "fig3": (run_fig3, fig3_rows, False),
-        "fig4": (run_fig4, fig4_rows, True),
-        "fig5": (run_fig5, fig5_rows, True),
-    }
-    run_fn, rows_fn, takes_tasks = drivers[figure]
-    sizes = tuple(sizes or FIG_SWEEPS[figure])
+    request = SweepRequest(figure=figure,
+                           sizes=tuple(sizes) if sizes else None,
+                           tasks=tuple(tasks) if tasks else None,
+                           scale=scale, out_dir=out_dir)
     os.makedirs(out_dir, exist_ok=True)
     if journal is None:
         journal = os.path.join(out_dir, f"{figure}.journal.jsonl")
-    meta = {"figure": figure, "sizes": list(sizes), "scale": scale,
-            "out_dir": out_dir}
-    kwargs = {"sizes": sizes, "scale": scale}
-    if takes_tasks:
-        kwargs["tasks"] = tuple(tasks) if tasks else None
-        if tasks:
-            meta["tasks"] = list(tasks)
     runner = SweepRunner(journal, jobs=jobs, timeout=timeout,
-                         retries=retries, meta=meta)
-    result = run_fn(runner=runner, **kwargs)
-    text = result.render()
-    atomic_write_text(os.path.join(out_dir, f"{figure}.txt"), text + "\n")
-    atomic_write_text(os.path.join(out_dir, f"{figure}.csv"),
-                      rows_to_csv(rows_fn(result)))
-    write_manifest(out_dir)
+                         retries=retries, meta=request.meta())
+    text = request.run_with(runner)
     counters = ", ".join(f"{name}={value}"
                          for name, value in runner.counters.items() if value)
     return (f"{text}\n\n"
@@ -436,6 +489,71 @@ def _command_resume(args) -> str:
     for key in sorted(results):
         lines.append(f"  {key}: {results[key].elapsed:.3f}s")
     return "\n".join(lines)
+
+
+def _service_address(args) -> str:
+    from .service.server import DEFAULT_STATE_DIR, default_socket
+    if getattr(args, "socket", None):
+        return args.socket
+    state_dir = getattr(args, "state_dir", None) or DEFAULT_STATE_DIR
+    return default_socket(state_dir)
+
+
+def _command_serve(args) -> int:
+    from .service.server import DEFAULT_STATE_DIR, serve
+    state_dir = args.state_dir or DEFAULT_STATE_DIR
+    return serve(args.socket,
+                 state_dir=state_dir,
+                 out_dir=args.out_dir,
+                 workers=args.workers,
+                 retries=args.retries,
+                 heartbeat_interval=args.heartbeat,
+                 cell_timeout=args.cell_timeout,
+                 exit_after_jobs=args.exit_after_jobs)
+
+
+def _command_submit(args) -> int:
+    from .service.server import submit_request
+    request = {"figure": args.figure, "scale": _scale_value(args)}
+    if args.sizes:
+        request["sizes"] = list(args.sizes)
+    if args.tasks:
+        request["tasks"] = list(args.tasks)
+    try:
+        outcome = submit_request(_service_address(args), request,
+                                 wait=args.wait,
+                                 wait_timeout=args.wait_timeout,
+                                 log=print)
+    except (OSError, TimeoutError, ValueError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    if not args.wait:
+        return 0
+    print(f"{outcome['job']}: {outcome['status']}"
+          + (f" ({outcome['error']})" if outcome.get("error") else ""))
+    return 0 if outcome["status"] == "done" else 1
+
+
+def _command_status(args) -> int:
+    from .service.server import fetch_status, render_status
+    address = _service_address(args)
+    try:
+        payload = fetch_status(address)
+    except (OSError, TimeoutError, ValueError) as exc:
+        print(f"no service at {address}: {exc}", file=sys.stderr)
+        return 1
+    print(render_status(payload))
+    return 0
+
+
+def _command_worker(args) -> int:
+    from .service.worker import worker_main
+    try:
+        return worker_main(_service_address(args), args.worker_id,
+                           heartbeat_interval=args.heartbeat,
+                           cell_timeout=args.cell_timeout)
+    except KeyboardInterrupt:
+        return 130
 
 
 def _command_bench(args) -> int:
@@ -528,6 +646,7 @@ def _command_doctor(args) -> int:
             checks.append((f"smoke: select on {arch}", False, repr(exc)))
 
     violated = {}
+    service_lines = []
     if getattr(args, "journal", None):
         from .experiments import SweepJournal
         try:
@@ -542,6 +661,28 @@ def _command_doctor(args) -> int:
                                if value) or "empty"
             if violated:
                 detail += f"; {len(violated)} invariant violation(s)"
+            worker_cells = journal.worker_cells()
+            if worker_cells or journal.service_events:
+                # A service journal: attribute the work and the losses.
+                detail += (f"; service run ({journal.reassignments()} "
+                           f"reassignment(s), {journal.heartbeat_losses()} "
+                           f"heartbeat loss(es))")
+                for worker_id in sorted(worker_cells):
+                    service_lines.append(f"  worker {worker_id}: "
+                                         f"{worker_cells[worker_id]} "
+                                         f"cell(s) done")
+                for event in journal.service_events:
+                    name = event.get("event", "?")
+                    if name == "reassign":
+                        service_lines.append(
+                            f"  reassigned {event.get('key', '?')} from "
+                            f"{event.get('worker', '?')} "
+                            f"(attempt {event.get('attempt', '?')})")
+                    else:
+                        service_lines.append(
+                            f"  {name}: {event.get('worker', '?')}"
+                            + (f" ({event['reason']})"
+                               if event.get("reason") else ""))
             checks.append((f"journal {args.journal}", not violated, detail))
 
     width = max(len(name) for name, _, _ in checks)
@@ -549,6 +690,8 @@ def _command_doctor(args) -> int:
         status = "ok" if ok else "FAIL"
         line = f"  {name:<{width}}  {status}"
         print(f"{line}  {detail}" if detail else line)
+    for line in service_lines:
+        print(line)
     for key, cell in sorted(violated.items()):
         report = cell.violation
         print(f"  violation in {key}: {report['component']}: "
@@ -634,6 +777,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "doctor":
         return _command_doctor(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "submit":
+        return _command_submit(args)
+    if args.command == "status":
+        return _command_status(args)
+    if args.command == "worker":
+        return _command_worker(args)
     if args.command == "audit":
         return _command_audit(args)
     if args.command == "bench":

@@ -42,8 +42,15 @@ from .harness import (
     execute_cells,
     resume_sweep,
 )
-from .journal import SweepJournal
-from .workers import CellOutcome, CellSpec, build_config, run_cell, run_cells
+from .journal import AppendLog, SweepJournal
+from .workers import (
+    CellOutcome,
+    CellSpec,
+    build_config,
+    drain_pool,
+    run_cell,
+    run_cells,
+)
 from .report import render_bars, render_grouped_bars, render_series, render_table
 from .scorecard import Claim, ClaimResult, paper_claims, run_scorecard
 from .summary import run_all
@@ -70,9 +77,10 @@ __all__ = [
     "run_scorecard", "paper_claims", "Claim", "ClaimResult",
     "run_degraded_sweep", "drive_failure_plan",
     "DegradedCell", "DegradedResult",
-    "SweepRunner", "SweepInterrupted", "SweepJournal",
+    "SweepRunner", "SweepInterrupted", "SweepJournal", "AppendLog",
     "execute_cells", "resume_sweep",
     "CellSpec", "CellOutcome", "build_config", "run_cell", "run_cells",
+    "drain_pool",
     "atomic_write_text", "write_manifest", "verify_manifest",
     "result_to_dict", "result_from_dict",
 ]

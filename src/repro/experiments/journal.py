@@ -20,6 +20,19 @@ config hash still matches are reloaded from their cached
 :class:`RunResult` (bit-identical — see :mod:`.artifacts`), everything
 else is re-run. ``sweep`` records carry driver metadata (figure name,
 sizes, scale) so the CLI can re-dispatch the original driver.
+
+Journals written by the distributed sweep service (``repro serve``, see
+``docs/SERVICE.md``) additionally attribute cell transitions to the
+worker that ran them (``worker=`` on ``running``/``done`` records) and
+interleave ``service`` event records — heartbeat losses, reassignments
+— which fold into :attr:`SweepJournal.service_events` and the
+per-worker queries below. A service journal is still a plain sweep
+journal: ``repro resume`` and ``repro doctor --journal`` both accept it.
+
+The append-only mechanics (torn-tail tolerance, fsync'd appends) live
+in :class:`AppendLog` so other persistent logs — the service's
+:class:`~repro.service.jobs.JobQueue` — share the exact crash-safety
+contract instead of re-implementing it.
 """
 
 from __future__ import annotations
@@ -29,49 +42,40 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["SweepJournal", "CellState", "STATUSES"]
+__all__ = ["AppendLog", "SweepJournal", "CellState", "STATUSES"]
 
 #: Legal cell statuses, in lifecycle order.
 STATUSES = ("pending", "running", "done", "failed", "quarantined")
 
 
-@dataclass
-class CellState:
-    """Folded state of one cell after replaying its journal records."""
+class AppendLog:
+    """An append-only JSONL file tolerating a crash-torn final line.
 
-    key: str
-    status: str = "pending"
-    spec: Optional[Dict] = None
-    config_hash: Optional[str] = None
-    attempt: int = 0
-    result: Optional[Dict] = None
-    error: Optional[str] = None
-    violation: Optional[Dict] = None
-    failures: List[str] = field(default_factory=list)
-
-
-class SweepJournal:
-    """Append-only JSONL journal of one sweep's cell lifecycle."""
+    Subclasses override :meth:`_fold` to reconstruct state from the
+    record stream. Appends are flushed and fsync'd one self-contained
+    line at a time, so after any crash the file is either well-formed
+    or torn only in its final line — which :meth:`load` detects,
+    counts in ``torn_lines``, and ignores, and which the next append
+    trims so new records never concatenate onto the fragment.
+    """
 
     def __init__(self, path: str):
         self.path = os.fspath(path)
-        self.meta: Dict = {}
-        self.cells: Dict[str, CellState] = {}
         self.torn_lines = 0
         self._handle = None
 
     # ------------------------------------------------------------- load
     @classmethod
-    def load(cls, path: str) -> "SweepJournal":
+    def load(cls, path: str):
         """Open ``path``, replaying any existing records.
 
         Unparseable lines are tolerated only at the very end of the file
         (a write torn by a crash); garbage earlier in the journal raises,
         because it means the file is not one of ours.
         """
-        journal = cls(path)
-        if os.path.exists(journal.path):
-            with open(journal.path, "r", encoding="utf-8") as handle:
+        log = cls(path)
+        if os.path.exists(log.path):
+            with open(log.path, "r", encoding="utf-8") as handle:
                 lines = handle.read().split("\n")
             # A well-formed journal ends with "\n", so the final split
             # element is empty; anything else is a torn tail.
@@ -82,46 +86,16 @@ class SweepJournal:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     if index >= len(lines) - 2:
-                        journal.torn_lines += 1
+                        log.torn_lines += 1
                         continue
                     raise ValueError(
-                        f"{journal.path}:{index + 1}: corrupt journal "
+                        f"{log.path}:{index + 1}: corrupt journal "
                         f"record (not at end of file)")
-                journal._fold(record)
-        return journal
+                log._fold(record)
+        return log
 
-    def _fold(self, record: Dict) -> None:
-        kind = record.get("kind")
-        if kind == "sweep":
-            self.meta.update(record.get("meta", {}))
-            return
-        if kind != "cell":
-            return  # unknown kinds are forward-compatible noise
-        key = record["key"]
-        status = record.get("status")
-        if status not in STATUSES:
-            raise ValueError(f"{self.path}: bad status {status!r} "
-                             f"for cell {key!r}")
-        cell = self.cells.get(key)
-        if cell is None:
-            cell = self.cells[key] = CellState(key=key)
-        cell.status = status
-        if record.get("spec") is not None:
-            cell.spec = record["spec"]
-        if record.get("config_hash") is not None:
-            cell.config_hash = record["config_hash"]
-        if record.get("attempt") is not None:
-            cell.attempt = record["attempt"]
-        if status == "done":
-            cell.result = record.get("result")
-            cell.error = None
-            cell.violation = None
-        elif status in ("failed", "quarantined"):
-            cell.error = record.get("error")
-            if record.get("violation") is not None:
-                cell.violation = record["violation"]
-            if record.get("error"):
-                cell.failures.append(record["error"])
+    def _fold(self, record: Dict) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
 
     # ----------------------------------------------------------- append
     def _trim_torn_tail(self) -> None:
@@ -148,11 +122,91 @@ class SweepJournal:
                 os.makedirs(directory, exist_ok=True)
             self._trim_torn_tail()
             self._handle = open(self.path, "a", encoding="utf-8")
+        # One write call per record: appends from concurrent processes
+        # (coordinator + a late worker flush) land as whole lines.
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self._fold(record)
 
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class CellState:
+    """Folded state of one cell after replaying its journal records."""
+
+    key: str
+    status: str = "pending"
+    spec: Optional[Dict] = None
+    config_hash: Optional[str] = None
+    attempt: int = 0
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    violation: Optional[Dict] = None
+    worker: Optional[str] = None
+    failures: List[str] = field(default_factory=list)
+
+
+class SweepJournal(AppendLog):
+    """Append-only JSONL journal of one sweep's cell lifecycle."""
+
+    def __init__(self, path: str):
+        super().__init__(path)
+        self.meta: Dict = {}
+        self.cells: Dict[str, CellState] = {}
+        self.service_events: List[Dict] = []
+
+    def _fold(self, record: Dict) -> None:
+        kind = record.get("kind")
+        if kind == "sweep":
+            self.meta.update(record.get("meta", {}))
+            return
+        if kind == "service":
+            event = dict(record)
+            event.pop("kind", None)
+            self.service_events.append(event)
+            return
+        if kind != "cell":
+            return  # unknown kinds are forward-compatible noise
+        key = record["key"]
+        status = record.get("status")
+        if status not in STATUSES:
+            raise ValueError(f"{self.path}: bad status {status!r} "
+                             f"for cell {key!r}")
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = self.cells[key] = CellState(key=key)
+        cell.status = status
+        if record.get("spec") is not None:
+            cell.spec = record["spec"]
+        if record.get("config_hash") is not None:
+            cell.config_hash = record["config_hash"]
+        if record.get("attempt") is not None:
+            cell.attempt = record["attempt"]
+        if record.get("worker") is not None:
+            cell.worker = record["worker"]
+        if status == "done":
+            cell.result = record.get("result")
+            cell.error = None
+            cell.violation = None
+        elif status in ("failed", "quarantined"):
+            cell.error = record.get("error")
+            if record.get("violation") is not None:
+                cell.violation = record["violation"]
+            if record.get("error"):
+                cell.failures.append(record["error"])
+
+    # ----------------------------------------------------------- append
     def note_sweep(self, meta: Dict) -> None:
         """Record driver metadata (figure, sizes, scale) for resume."""
         self._append({"kind": "sweep", "meta": meta})
@@ -162,7 +216,8 @@ class SweepJournal:
                   attempt: Optional[int] = None,
                   result: Optional[Dict] = None,
                   error: Optional[str] = None,
-                  violation: Optional[Dict] = None) -> None:
+                  violation: Optional[Dict] = None,
+                  worker: Optional[str] = None) -> None:
         if status not in STATUSES:
             raise ValueError(f"bad status {status!r}")
         record: Dict = {"kind": "cell", "key": key, "status": status}
@@ -178,18 +233,20 @@ class SweepJournal:
             record["error"] = error
         if violation is not None:
             record["violation"] = violation
+        if worker is not None:
+            record["worker"] = worker
         self._append(record)
 
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+    def note_service(self, event: str, **fields) -> None:
+        """Record one service event (``heartbeat_loss``, ``reassign``...).
 
-    def __enter__(self) -> "SweepJournal":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+        Service events are forward-compatible noise to pre-service
+        readers of the journal; see ``docs/SERVICE.md`` for the event
+        vocabulary.
+        """
+        record = {"kind": "service", "event": event}
+        record.update(fields)
+        self._append(record)
 
     # ---------------------------------------------------------- queries
     def done(self) -> Dict[str, CellState]:
@@ -215,6 +272,29 @@ class SweepJournal:
         for cell in self.cells.values():
             out[cell.status] += 1
         return out
+
+    # ------------------------------------------------- service queries
+    def worker_cells(self) -> Dict[str, int]:
+        """Completed cells attributed to each service worker."""
+        out: Dict[str, int] = {}
+        for cell in self.cells.values():
+            if cell.status == "done" and cell.worker is not None:
+                out[cell.worker] = out.get(cell.worker, 0) + 1
+        return out
+
+    def service_event_counts(self) -> Dict[str, int]:
+        """Service events by name (``reassign``, ``heartbeat_loss``...)."""
+        out: Dict[str, int] = {}
+        for event in self.service_events:
+            name = event.get("event", "unknown")
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    def reassignments(self) -> int:
+        return self.service_event_counts().get("reassign", 0)
+
+    def heartbeat_losses(self) -> int:
+        return self.service_event_counts().get("heartbeat_loss", 0)
 
     def summary(self) -> str:
         counts = self.counts()

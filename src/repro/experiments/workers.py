@@ -31,7 +31,7 @@ from ..arch import RunResult
 from .artifacts import result_from_dict, result_to_dict
 
 __all__ = ["CellSpec", "CellOutcome", "run_cells", "run_cell",
-           "build_config"]
+           "build_config", "drain_pool"]
 
 #: Named drive models a spec may reference (JSON-friendly indirection).
 DRIVE_NAMES = ("SEAGATE_ST39102", "HITACHI_DK3E1T91")
@@ -211,6 +211,34 @@ def _reap(entry: _Running) -> None:
         entry.conn.close()
     except OSError:  # pragma: no cover
         pass
+
+
+def drain_pool(entries: List[_Running], *, grace: float = 0.5) -> None:
+    """Drain a pool: cancel in-flight deadlines, then reap every worker.
+
+    Used on the interrupt path (SIGINT/SIGTERM) and by service workers
+    shutting down. Each entry's wall-clock deadline is cancelled *first*
+    so no timeout bookkeeping fires for a cell we are already tearing
+    down, then termination is two-phase and pool-wide: every live
+    worker gets SIGTERM at once, the whole group shares one ``grace``
+    window, and only stragglers are SIGKILLed — so Ctrl-C on a wide
+    sweep exits in ~``grace`` seconds instead of serializing a
+    per-worker wait.
+    """
+    for entry in entries:
+        entry.deadline = None
+        if entry.proc.is_alive():
+            entry.proc.terminate()
+    joined_by = time.monotonic() + grace
+    for entry in entries:
+        entry.proc.join(max(0.0, joined_by - time.monotonic()))
+        if entry.proc.is_alive():  # pragma: no cover - stubborn worker
+            entry.proc.kill()
+            entry.proc.join(0.5)
+        try:
+            entry.conn.close()
+        except OSError:  # pragma: no cover
+            pass
 
 
 def run_cells(specs: Sequence[CellSpec], *,
@@ -404,6 +432,5 @@ def _run_pool(specs, *, jobs, timeout, retries, backoff, cell_fn,
                     still.append(entry)
             running = still
     finally:
-        for entry in running:
-            _reap(entry)
+        drain_pool(running)
     return outcomes

@@ -1,0 +1,60 @@
+"""repro.service — distributed sweep service.
+
+A **coordinator** owns a crash-safe job queue of sweep requests and a
+per-job :class:`~repro.experiments.journal.SweepJournal`; **workers**
+connect over a pluggable transport (in-process queues or sockets),
+heartbeat, and execute one cell at a time. Workers that die mid-cell
+have their cell reassigned; a killed coordinator resumes from its
+journals bit-identically. ``docs/SERVICE.md`` has the full contract.
+
+Entry points: ``repro serve`` / ``repro submit`` / ``repro status`` /
+``repro worker`` in the CLI, or :func:`serve`, :func:`submit_request`,
+:func:`fetch_status` from code.
+"""
+
+from .coordinator import COUNTERS, Coordinator, WorkerState
+from .jobs import JOB_STATUSES, Job, JobQueue
+from .requests import FIGURES, FigureDriver, SweepRequest
+from .server import (
+    default_socket,
+    fetch_status,
+    render_status,
+    serve,
+    spawn_local_workers,
+    submit_request,
+)
+from .transport import (
+    Channel,
+    ChannelClosed,
+    InProcTransport,
+    Listener,
+    SocketTransport,
+    Transport,
+)
+from .worker import ServiceWorker, worker_main
+
+__all__ = [
+    "COUNTERS",
+    "Coordinator",
+    "WorkerState",
+    "JOB_STATUSES",
+    "Job",
+    "JobQueue",
+    "FIGURES",
+    "FigureDriver",
+    "SweepRequest",
+    "default_socket",
+    "fetch_status",
+    "render_status",
+    "serve",
+    "spawn_local_workers",
+    "submit_request",
+    "Channel",
+    "ChannelClosed",
+    "InProcTransport",
+    "Listener",
+    "SocketTransport",
+    "Transport",
+    "ServiceWorker",
+    "worker_main",
+]

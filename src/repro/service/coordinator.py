@@ -1,0 +1,584 @@
+"""The sweep coordinator: job queue, dispatch, heartbeats, reassignment.
+
+One :class:`Coordinator` owns
+
+* a persistent :class:`~repro.service.jobs.JobQueue` of submitted
+  :class:`~repro.service.requests.SweepRequest`\\ s,
+* a :class:`~repro.experiments.journal.SweepJournal` per active job
+  (under ``<state_dir>/jobs/``), written with per-worker attribution
+  and service events so ``repro doctor --journal`` and ``repro
+  resume`` both understand it,
+* a registry of connected workers, each owed a heartbeat every
+  ``heartbeat_interval`` seconds — a worker that goes silent past
+  ``heartbeat_timeout`` (or whose connection drops, e.g. SIGKILL) is
+  declared lost and its in-flight cell is **reassigned**.
+
+Failure semantics deliberately mirror the local worker pool
+(:mod:`repro.experiments.workers`): an explicit ``error``/``timeout``/
+``crashed`` result — and a lost worker, which is indistinguishable from
+a crash — consumes one attempt and is retried with exponential backoff
+up to ``retries`` times before the cell is quarantined; an
+``InvariantViolation`` result quarantines immediately (a deterministic
+modelling defect is not worth re-running); quarantined cells fail the
+job but never sink it. Because every transition is journaled the same
+way the local harness journals it, killing the coordinator itself loses
+nothing: on restart, jobs left ``running`` re-activate and their
+journals' ``done`` cells are skipped, bit-identical.
+
+The coordinator is single-threaded: drive it with :meth:`step` (tests)
+or :meth:`serve_forever` (the ``repro serve`` loop). It is not
+thread-safe; submit over a transport channel instead of calling
+:meth:`submit` from another thread.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..experiments.journal import SweepJournal
+from ..experiments.workers import CellSpec
+from . import protocol
+from .jobs import Job, JobQueue
+from .requests import SweepRequest
+from .transport import Channel, ChannelClosed, Listener
+
+__all__ = ["Coordinator", "WorkerState", "COUNTERS"]
+
+#: Counter names every coordinator tracks (and mirrors into telemetry
+#: as ``service.*`` — see docs/OBSERVABILITY.md).
+COUNTERS = ("jobs_submitted", "jobs_completed", "jobs_failed",
+            "dispatched", "results", "resumed_cells", "reassigned",
+            "workers_lost", "heartbeats")
+
+
+@dataclass
+class WorkerState:
+    """Liveness and load of one connected worker."""
+
+    id: str
+    channel: Channel
+    pid: Optional[int] = None
+    last_seen: float = 0.0
+    inflight: Optional[Tuple[str, str, int]] = None   # (job, key, attempt)
+    completed: int = 0
+    lost: bool = False
+    lost_reason: Optional[str] = None
+
+
+@dataclass
+class _ActiveJob:
+    """Dispatch state of the job currently being executed."""
+
+    job: Job
+    request: SweepRequest
+    journal: SweepJournal
+    journal_path: str
+    specs: Dict[str, CellSpec]
+    #: (key, attempt, not_before) — ready cells plus backoff holds.
+    pending: Deque[Tuple[str, int, float]] = field(default_factory=deque)
+    inflight: Dict[str, str] = field(default_factory=dict)  # key -> worker
+    done: int = 0
+    resumed: int = 0
+    quarantined: List[str] = field(default_factory=list)
+    failures: Dict[str, List[str]] = field(default_factory=dict)
+
+    def next_ready(self, now: float) -> Optional[Tuple[str, int]]:
+        for index, (key, attempt, not_before) in enumerate(self.pending):
+            if not_before <= now:
+                del self.pending[index]
+                return key, attempt
+        return None
+
+    def finished(self) -> bool:
+        return not self.pending and not self.inflight
+
+    def progress(self) -> Dict[str, int]:
+        return {"total": len(self.specs), "done": self.done,
+                "resumed": self.resumed, "pending": len(self.pending),
+                "inflight": len(self.inflight),
+                "quarantined": len(self.quarantined)}
+
+
+class Coordinator:
+    """Owns the queue, the workers and the journals. Single-threaded."""
+
+    def __init__(self, state_dir: str, listener: Listener, *,
+                 out_dir: Optional[str] = None,
+                 retries: int = 1,
+                 backoff: float = 0.05,
+                 heartbeat_timeout: float = 3.0,
+                 telemetry=None,
+                 log: Optional[Callable[[str], None]] = None):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if heartbeat_timeout <= 0:
+            raise ValueError(f"heartbeat_timeout must be positive, "
+                             f"got {heartbeat_timeout}")
+        self.state_dir = os.fspath(state_dir)
+        self.listener = listener
+        self.out_dir = out_dir
+        self.retries = retries
+        self.backoff = backoff
+        self.heartbeat_timeout = heartbeat_timeout
+        self.telemetry = telemetry
+        self._log = log
+        self.queue = JobQueue.load(os.path.join(self.state_dir,
+                                                "queue.jsonl"))
+        self.workers: Dict[str, WorkerState] = {}
+        self.active: Optional[_ActiveJob] = None
+        self._unclassified: List[Channel] = []
+        self._worker_seq = 0
+        self._stopped = False
+        self.counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        if telemetry is not None:
+            # Register the whole service.* subtree eagerly so the
+            # metrics exist (at zero) from the first snapshot.
+            registry = telemetry.registry
+            for name in COUNTERS:
+                registry.counter(f"service.{name.replace('_', '.')}")
+            registry.gauge("service.queue.depth")
+            registry.gauge("service.workers.live")
+            registry.histogram("service.heartbeat.lag")
+
+    # ----------------------------------------------------------- helpers
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+        if self.telemetry is not None:
+            self.telemetry.registry.counter(
+                f"service.{name.replace('_', '.')}").add(amount)
+
+    def _gauges(self) -> None:
+        if self.telemetry is None:
+            return
+        registry = self.telemetry.registry
+        depth = 0
+        if self.active is not None:
+            depth = len(self.active.pending) + len(self.active.inflight)
+        registry.gauge("service.queue.depth").set(depth)
+        registry.gauge("service.workers.live").set(
+            sum(1 for worker in self.workers.values() if not worker.lost))
+
+    def _say(self, message: str) -> None:
+        if self._log is not None:
+            self._log(message)
+
+    def journal_path_for(self, job_id: str) -> str:
+        return os.path.join(self.state_dir, "jobs",
+                            f"{job_id}.journal.jsonl")
+
+    # ------------------------------------------------------------ submit
+    def submit(self, request: Dict) -> Job:
+        """Validate and enqueue one sweep request; returns its job."""
+        parsed = SweepRequest.from_dict(request)
+        if self.out_dir is not None and "out_dir" not in request:
+            parsed = parsed.with_out_dir(self.out_dir)
+        job = self.queue.submit(parsed.to_dict())
+        self._count("jobs_submitted")
+        self._say(f"{job.id}: queued {parsed.figure} "
+                  f"(sizes {list(parsed.resolved_sizes)}, "
+                  f"scale {parsed.scale:g})")
+        return job
+
+    # -------------------------------------------------------------- step
+    def step(self) -> bool:
+        """One scheduling pass; returns True if anything progressed."""
+        progress = self._accept()
+        progress |= self._classify()
+        progress |= self._pump_workers()
+        progress |= self._check_heartbeats()
+        progress |= self._activate_next()
+        if self.active is not None:
+            progress |= self._dispatch()
+            if self.active.finished():
+                self._finalize()
+                progress = True
+        self._gauges()
+        return progress
+
+    def serve_forever(self, poll_interval: float = 0.02) -> None:
+        while not self._stopped:
+            if not self.step():
+                time.sleep(poll_interval)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def close(self) -> None:
+        """Release sockets and files; active journal state stays on disk."""
+        self.stop()
+        for worker in self.workers.values():
+            try:
+                worker.channel.send(protocol.stop())
+            except ChannelClosed:
+                pass
+            worker.channel.close()
+        for channel in self._unclassified:
+            channel.close()
+        self._unclassified.clear()
+        if self.active is not None:
+            self.active.journal.close()
+        self.queue.close()
+        self.listener.close()
+
+    # ------------------------------------------------------- connections
+    def _accept(self) -> bool:
+        progress = False
+        while True:
+            try:
+                channel = self.listener.accept(0)
+            except ChannelClosed:   # listener torn down underneath us
+                return progress
+            if channel is None:
+                return progress
+            self._unclassified.append(channel)
+            progress = True
+
+    def _classify(self) -> bool:
+        progress = False
+        for channel in list(self._unclassified):
+            try:
+                message = channel.recv(0)
+            except ChannelClosed:
+                self._unclassified.remove(channel)
+                channel.close()
+                continue
+            if message is None:
+                continue
+            self._unclassified.remove(channel)
+            self._handle_first(channel, message)
+            progress = True
+        return progress
+
+    def _handle_first(self, channel: Channel, message: Dict) -> None:
+        kind = message.get("kind")
+        if kind == "hello":
+            self._register_worker(channel, message)
+            return
+        # Client channels are one-shot: reply, then close.
+        try:
+            if kind == "submit":
+                try:
+                    job = self.submit(message.get("request") or {})
+                except ValueError as exc:
+                    channel.send(protocol.error_reply(str(exc)))
+                else:
+                    channel.send(protocol.submitted(job.id))
+            elif kind == "status":
+                channel.send(protocol.status_reply(self.status()))
+            else:
+                channel.send(protocol.error_reply(
+                    f"unknown request kind {kind!r}"))
+        except ChannelClosed:
+            pass
+        channel.close()
+
+    def _register_worker(self, channel: Channel, message: Dict) -> None:
+        self._worker_seq += 1
+        worker_id = message.get("worker") or f"w{self._worker_seq}"
+        if worker_id in self.workers:
+            worker_id = f"{worker_id}.{self._worker_seq}"
+        worker = WorkerState(id=worker_id, channel=channel,
+                             pid=message.get("pid"),
+                             last_seen=time.monotonic())
+        self.workers[worker_id] = worker
+        self._say(f"worker {worker_id} connected"
+                  + (f" (pid {worker.pid})" if worker.pid else ""))
+
+    # ----------------------------------------------------------- workers
+    def _pump_workers(self) -> bool:
+        progress = False
+        for worker in list(self.workers.values()):
+            if worker.lost:
+                continue
+            while True:
+                try:
+                    message = worker.channel.recv(0)
+                except ChannelClosed:
+                    self._lose_worker(worker, "connection closed",
+                                      event="worker_lost")
+                    break
+                if message is None:
+                    break
+                progress = True
+                self._on_worker_message(worker, message)
+                if worker.lost:
+                    break
+        return progress
+
+    def _on_worker_message(self, worker: WorkerState, message: Dict) -> None:
+        now = time.monotonic()
+        kind = message.get("kind")
+        if kind == "heartbeat":
+            lag = now - worker.last_seen
+            worker.last_seen = now
+            self._count("heartbeats")
+            if self.telemetry is not None:
+                self.telemetry.registry.histogram(
+                    "service.heartbeat.lag").observe(lag)
+            return
+        worker.last_seen = now
+        if kind == "result":
+            self._on_result(worker, message)
+        elif kind == "goodbye":
+            self._lose_worker(worker, "said goodbye", event="worker_left",
+                              count_lost=worker.inflight is not None)
+        # anything else: forward-compatible noise, liveness already noted
+
+    def _check_heartbeats(self) -> bool:
+        now = time.monotonic()
+        progress = False
+        for worker in list(self.workers.values()):
+            if worker.lost:
+                continue
+            silent = now - worker.last_seen
+            if silent > self.heartbeat_timeout:
+                self._lose_worker(
+                    worker,
+                    f"missed heartbeat deadline ({silent:.1f}s silent, "
+                    f"limit {self.heartbeat_timeout:g}s)",
+                    event="heartbeat_loss")
+                progress = True
+        return progress
+
+    def _lose_worker(self, worker: WorkerState, reason: str, *,
+                     event: str, count_lost: bool = True) -> None:
+        if worker.lost:
+            return
+        worker.lost = True
+        worker.lost_reason = reason
+        worker.channel.close()
+        if count_lost:
+            self._count("workers_lost")
+        self._say(f"worker {worker.id} lost: {reason}")
+        inflight = worker.inflight
+        worker.inflight = None
+        active = self.active
+        if active is not None and (count_lost or inflight is not None):
+            active.journal.note_service(event, worker=worker.id,
+                                        reason=reason)
+        if inflight is None:
+            return
+        job_id, key, attempt = inflight
+        if active is None or active.job.id != job_id:
+            return   # the job already finished without this cell
+        active.inflight.pop(key, None)
+        # A lost worker is indistinguishable from a crashed one: the
+        # attempt is spent, exactly as the local pool counts it.
+        self._attempt_failed(active, key, attempt,
+                             f"worker {worker.id} lost mid-cell ({reason})",
+                             "crashed", reassign_from=worker.id)
+
+    # ----------------------------------------------------------- results
+    def _on_result(self, worker: WorkerState, message: Dict) -> None:
+        active = self.active
+        job_id = message.get("job")
+        key = message.get("key")
+        if (active is None or active.job.id != job_id
+                or active.inflight.get(key) != worker.id):
+            # Stale result (e.g. from a worker we already declared lost
+            # whose cell was re-dispatched): the journal keeps the copy
+            # that the current assignment produces.
+            self._say(f"ignoring stale result for {key} "
+                      f"from worker {worker.id}")
+            return
+        worker.inflight = None
+        active.inflight.pop(key, None)
+        self._count("results")
+        attempt = message.get("attempt", 0)
+        status = message.get("status")
+        if status == "done":
+            worker.completed += 1
+            active.done += 1
+            active.journal.note_cell(key, "done", attempt=attempt,
+                                     result=message.get("result"),
+                                     worker=worker.id)
+        elif status == "violation":
+            self._quarantine(active, key, attempt,
+                             message.get("error") or "invariant violation",
+                             violation=message.get("violation"),
+                             worker=worker.id)
+        elif status in ("error", "timeout", "crashed"):
+            self._attempt_failed(active, key, attempt,
+                                 message.get("error") or status, status,
+                                 worker=worker.id)
+        else:
+            self._attempt_failed(active, key, attempt,
+                                 f"malformed result status {status!r}",
+                                 "error", worker=worker.id)
+
+    def _attempt_failed(self, active: _ActiveJob, key: str, attempt: int,
+                        error: str, kind: str, *,
+                        worker: Optional[str] = None,
+                        reassign_from: Optional[str] = None) -> None:
+        active.failures.setdefault(key, []).append(error)
+        active.journal.note_cell(key, "failed", attempt=attempt,
+                                 error=_last_line(error), worker=worker)
+        if attempt < self.retries:
+            not_before = time.monotonic() + self.backoff * (2 ** attempt)
+            active.pending.append((key, attempt + 1, not_before))
+            if reassign_from is not None:
+                active.journal.note_service("reassign", key=key,
+                                            attempt=attempt + 1,
+                                            worker=reassign_from)
+                self._count("reassigned")
+                self._say(f"{active.job.id}: reassigning {key} "
+                          f"(attempt {attempt + 1})")
+        else:
+            self._quarantine(active, key, attempt, error, worker=worker)
+
+    def _quarantine(self, active: _ActiveJob, key: str, attempt: int,
+                    error: str, violation: Optional[Dict] = None,
+                    worker: Optional[str] = None) -> None:
+        active.quarantined.append(key)
+        active.journal.note_cell(key, "quarantined", attempt=attempt,
+                                 error=_last_line(error),
+                                 violation=violation, worker=worker)
+        self._say(f"{active.job.id}: quarantined {key}: "
+                  f"{_last_line(error)}")
+
+    # -------------------------------------------------------------- jobs
+    def _activate_next(self) -> bool:
+        if self.active is not None:
+            return False
+        for job in self.queue.pending():
+            if self._activate(job):
+                return True
+        return False
+
+    def _activate(self, job: Job) -> bool:
+        try:
+            request = SweepRequest.from_dict(job.request)
+            specs = {spec.key: spec for spec in request.cells()}
+        except ValueError as exc:
+            self.queue.update(job.id, "failed", error=str(exc))
+            self._count("jobs_failed")
+            self._say(f"{job.id}: rejected: {exc}")
+            return False
+        journal_path = self.journal_path_for(job.id)
+        journal = SweepJournal.load(journal_path)
+        if not journal.meta:
+            journal.note_sweep(request.meta())
+        active = _ActiveJob(job=job, request=request, journal=journal,
+                            journal_path=journal_path, specs=specs)
+        now = time.monotonic()
+        for key, spec in specs.items():
+            state = journal.cells.get(key)
+            if (state is not None and state.status == "done"
+                    and state.config_hash == spec.config_hash()
+                    and state.result is not None):
+                active.done += 1
+                active.resumed += 1
+                continue
+            if state is None or state.config_hash != spec.config_hash():
+                journal.note_cell(key, "pending", spec=spec.to_dict(),
+                                  config_hash=spec.config_hash())
+            active.pending.append((key, 0, now))
+        self._count("resumed_cells", active.resumed)
+        if job.status != "running":
+            self.queue.update(job.id, "running")
+        self.active = active
+        self._say(f"{job.id}: running {request.figure} — "
+                  f"{len(active.pending)} cell(s) to go, "
+                  f"{active.resumed} already done")
+        return True
+
+    def _dispatch(self) -> bool:
+        active = self.active
+        progress = False
+        now = time.monotonic()
+        for worker in list(self.workers.values()):
+            if worker.lost or worker.inflight is not None:
+                continue
+            ready = active.next_ready(now)
+            if ready is None:
+                break
+            key, attempt = ready
+            spec = active.specs[key]
+            worker.inflight = (active.job.id, key, attempt)
+            active.inflight[key] = worker.id
+            active.journal.note_cell(key, "running", attempt=attempt,
+                                     worker=worker.id)
+            self._count("dispatched")
+            try:
+                worker.channel.send(protocol.assign(
+                    active.job.id, key, spec.to_dict(), attempt))
+            except ChannelClosed:
+                self._lose_worker(worker, "send failed",
+                                  event="worker_lost")
+                continue
+            progress = True
+        return progress
+
+    def _finalize(self) -> None:
+        active = self.active
+        self.active = None
+        active.journal.close()
+        job = active.job
+        if active.quarantined:
+            keys = ", ".join(sorted(active.quarantined))
+            self.queue.update(
+                job.id, "failed",
+                error=f"{len(active.quarantined)} cell(s) quarantined: "
+                      f"{keys}")
+            self._count("jobs_failed")
+            self._say(f"{job.id}: FAILED — {len(active.quarantined)} "
+                      f"cell(s) quarantined ({keys}); journal: "
+                      f"{active.journal_path}")
+            return
+        try:
+            active.request.finalize(active.journal_path)
+        except Exception as exc:   # artifact write / reload failure
+            self.queue.update(job.id, "failed",
+                              error=f"finalize failed: {exc}")
+            self._count("jobs_failed")
+            self._say(f"{job.id}: finalize FAILED: {exc}")
+            return
+        self.queue.update(job.id, "done")
+        self._count("jobs_completed")
+        self._say(f"{job.id}: done — {active.done} cell(s) "
+                  f"({active.resumed} resumed); artifacts in "
+                  f"{active.request.out_dir}/")
+
+    # ------------------------------------------------------------ status
+    def status(self) -> Dict:
+        """A JSON-friendly snapshot for ``repro status``."""
+        now = time.monotonic()
+        jobs = []
+        for job_id in self.queue._order:
+            job = self.queue.jobs[job_id]
+            entry = {"id": job.id, "status": job.status,
+                     "figure": job.request.get("figure"),
+                     "error": job.error}
+            if self.active is not None and self.active.job.id == job.id:
+                entry.update(self.active.progress())
+            jobs.append(entry)
+        workers = []
+        for worker in self.workers.values():
+            workers.append({
+                "id": worker.id, "pid": worker.pid,
+                "lost": worker.lost, "lost_reason": worker.lost_reason,
+                "completed": worker.completed,
+                "inflight": worker.inflight[1] if worker.inflight else None,
+                "heartbeat_age": round(now - worker.last_seen, 3),
+            })
+        return {
+            "address": self.listener.address,
+            "queue": self.queue.counts(),
+            "jobs": jobs,
+            "workers": workers,
+            "counters": dict(self.counters),
+        }
+
+
+def _last_line(text: str) -> str:
+    lines = [line.strip() for line in text.strip().splitlines()
+             if line.strip()]
+    return lines[-1] if lines else ""

@@ -1,0 +1,105 @@
+"""The coordinator's persistent job queue.
+
+A **job** is one queued sweep request (``{"figure": "fig1", ...}`` — see
+:class:`~repro.service.requests.SweepRequest`) moving through
+
+    queued -> running -> done
+                      -> failed (quarantined cells, or a bad request)
+
+The queue is an :class:`~repro.experiments.journal.AppendLog`: every
+submission and status transition is one fsync'd JSON line, so a
+coordinator killed at any moment reloads the exact queue on restart —
+jobs left ``running`` by the dead coordinator are simply re-activated,
+and their sweep journals take care of skipping the cells that already
+finished (``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..experiments.journal import AppendLog
+
+__all__ = ["Job", "JobQueue", "JOB_STATUSES"]
+
+#: Legal job statuses, in lifecycle order.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """Folded state of one submitted sweep request."""
+
+    id: str
+    request: Dict
+    status: str = "queued"
+    error: Optional[str] = None
+
+
+class JobQueue(AppendLog):
+    """Append-only, crash-safe JSONL queue of sweep requests."""
+
+    def __init__(self, path: str):
+        super().__init__(path)
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+
+    def _fold(self, record: Dict) -> None:
+        if record.get("kind") != "job":
+            return  # forward-compatible noise
+        job_id = record["id"]
+        job = self.jobs.get(job_id)
+        if job is None:
+            job = self.jobs[job_id] = Job(id=job_id,
+                                          request=record.get("request") or {})
+            self._order.append(job_id)
+        if record.get("request") is not None:
+            job.request = record["request"]
+        status = record.get("status")
+        if status is not None:
+            if status not in JOB_STATUSES:
+                raise ValueError(f"{self.path}: bad job status {status!r} "
+                                 f"for {job_id!r}")
+            job.status = status
+        if record.get("error") is not None:
+            job.error = record["error"]
+
+    # ----------------------------------------------------------- updates
+    def submit(self, request: Dict) -> Job:
+        """Append a new job; ids are monotonic across reloads."""
+        job_id = f"job-{len(self._order) + 1:04d}"
+        self._append({"kind": "job", "id": job_id, "request": request,
+                      "status": "queued"})
+        return self.jobs[job_id]
+
+    def update(self, job_id: str, status: str,
+               error: Optional[str] = None) -> None:
+        if job_id not in self.jobs:
+            raise KeyError(f"no job {job_id!r}")
+        record: Dict = {"kind": "job", "id": job_id, "status": status}
+        if error is not None:
+            record["error"] = error
+        self._append(record)
+
+    # ----------------------------------------------------------- queries
+    def pending(self) -> List[Job]:
+        """Jobs still owed work, submission order.
+
+        ``running`` jobs sort first: they were active when a previous
+        coordinator died and should resume before fresh submissions.
+        """
+        jobs = [self.jobs[job_id] for job_id in self._order]
+        return ([job for job in jobs if job.status == "running"]
+                + [job for job in jobs if job.status == "queued"])
+
+    def counts(self) -> Dict[str, int]:
+        out = {status: 0 for status in JOB_STATUSES}
+        for job in self.jobs.values():
+            out[job.status] += 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        parts = [f"{counts[s]} {s}" for s in JOB_STATUSES if counts[s]]
+        return f"{self.path}: " + (", ".join(parts) or "empty")

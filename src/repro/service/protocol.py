@@ -1,0 +1,112 @@
+"""The service wire vocabulary: JSON message builders and constants.
+
+Every message exchanged between a coordinator and its peers is one JSON
+object with a ``kind`` field, sent as a single line over a
+:class:`~repro.service.transport.Channel`. The vocabulary is small and
+versioned:
+
+Worker -> coordinator
+    ``hello``       first message on a worker channel; declares the role
+    ``heartbeat``   liveness beacon, sent every ``heartbeat_interval``
+    ``result``      terminal report for one assigned cell
+    ``goodbye``     graceful disconnect
+
+Coordinator -> worker
+    ``assign``      one cell to execute (spec + attempt number)
+    ``stop``        shut the worker down
+
+Client -> coordinator (one-shot channels)
+    ``submit``      enqueue a sweep request; replied with ``submitted``
+    ``status``      replied with a ``status`` payload
+
+Coordinator -> client
+    ``submitted``   carries the new job id
+    ``status``      queue depth, jobs, per-worker liveness, counters
+    ``error``       the request could not be honoured
+
+``result.status`` reuses the worker-pool failure taxonomy of
+:mod:`repro.experiments.workers`: ``done``, ``error``, ``timeout``,
+``crashed`` or ``violation`` — the coordinator applies the same
+retry/quarantine rules a local pool would (see ``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION", "RESULT_STATUSES",
+    "hello", "heartbeat", "result", "goodbye",
+    "assign", "stop",
+    "submit", "submitted", "status_request", "status_reply", "error_reply",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Legal ``result.status`` values, mirroring the pool's failure kinds.
+RESULT_STATUSES = ("done", "error", "timeout", "crashed", "violation")
+
+
+# ------------------------------------------------------------- worker ->
+def hello(worker: str, pid: int) -> Dict:
+    return {"kind": "hello", "version": PROTOCOL_VERSION,
+            "worker": worker, "pid": pid}
+
+
+def heartbeat(worker: str) -> Dict:
+    return {"kind": "heartbeat", "worker": worker}
+
+
+def result(job: str, key: str, attempt: int, status: str, *,
+           result: Optional[Dict] = None,
+           error: Optional[str] = None,
+           violation: Optional[Dict] = None) -> Dict:
+    if status not in RESULT_STATUSES:
+        raise ValueError(f"bad result status {status!r}; "
+                         f"pick one of {RESULT_STATUSES}")
+    message: Dict = {"kind": "result", "job": job, "key": key,
+                     "attempt": attempt, "status": status}
+    if result is not None:
+        message["result"] = result
+    if error is not None:
+        message["error"] = error
+    if violation is not None:
+        message["violation"] = violation
+    return message
+
+
+def goodbye(worker: str) -> Dict:
+    return {"kind": "goodbye", "worker": worker}
+
+
+# -------------------------------------------------------- coordinator ->
+def assign(job: str, key: str, spec: Dict, attempt: int) -> Dict:
+    return {"kind": "assign", "job": job, "key": key, "spec": spec,
+            "attempt": attempt}
+
+
+def stop() -> Dict:
+    return {"kind": "stop"}
+
+
+# ------------------------------------------------------------- client ->
+def submit(request: Dict) -> Dict:
+    return {"kind": "submit", "request": request}
+
+
+def submitted(job: str) -> Dict:
+    return {"kind": "submitted", "job": job}
+
+
+def status_request() -> Dict:
+    return {"kind": "status"}
+
+
+def status_reply(payload: Dict) -> Dict:
+    message = {"kind": "status"}
+    message.update(payload)
+    return message
+
+
+def error_reply(message: str) -> Dict:
+    return {"kind": "error", "error": message}

@@ -1,0 +1,144 @@
+"""The service worker: execute assigned cells, heartbeat, report back.
+
+A :class:`ServiceWorker` connects a channel to a coordinator, announces
+itself (``hello``), then loops: receive an ``assign``, run the cell,
+send a ``result``. A daemon thread sends a ``heartbeat`` every
+``heartbeat_interval`` seconds — including while a cell is running — so
+the coordinator can tell "busy with a long simulation" from "dead".
+
+Cell execution goes through the same
+:func:`~repro.experiments.workers.run_cells` machinery as a local
+sweep: with ``cell_timeout`` set, each cell runs in its own
+subprocess, so a crash or a hang in one pathological configuration is
+contained (and reported as ``crashed``/``timeout``, never taking the
+worker down), and an interrupt drains the subprocess pool through the
+shared :func:`~repro.experiments.workers.drain_pool` path. Without a
+timeout the cell runs inline — fastest, with the coordinator's
+lost-worker reassignment as the safety net. Retries are the
+coordinator's job; a worker reports each attempt's outcome verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, List, Optional
+
+from ..experiments.artifacts import result_to_dict
+from ..experiments.workers import CellSpec, run_cell, run_cells
+from . import protocol
+from .transport import Channel, ChannelClosed, SocketTransport
+
+__all__ = ["ServiceWorker", "worker_main"]
+
+
+class ServiceWorker:
+    """One worker loop bound to a connected channel."""
+
+    def __init__(self, channel: Channel, worker_id: Optional[str] = None, *,
+                 heartbeat_interval: float = 0.5,
+                 cell_timeout: Optional[float] = None,
+                 cell_fn: Callable = run_cell,
+                 mp_context: Optional[str] = None):
+        if heartbeat_interval <= 0:
+            raise ValueError(f"heartbeat_interval must be positive, "
+                             f"got {heartbeat_interval}")
+        self.channel = channel
+        self.worker_id = worker_id or f"pid{os.getpid()}"
+        self.heartbeat_interval = heartbeat_interval
+        self.cell_timeout = cell_timeout
+        self.cell_fn = cell_fn
+        self.mp_context = mp_context
+        self.cells_run = 0
+
+    # --------------------------------------------------------------- run
+    def run(self) -> int:
+        """Serve until told to stop or the coordinator goes away.
+
+        Returns the number of cells executed.
+        """
+        self.channel.send(protocol.hello(self.worker_id, os.getpid()))
+        stop_beating = threading.Event()
+        beater = threading.Thread(target=self._beat, args=(stop_beating,),
+                                  name=f"heartbeat-{self.worker_id}",
+                                  daemon=True)
+        beater.start()
+        try:
+            while True:
+                try:
+                    message = self.channel.recv(0.25)
+                except ChannelClosed:
+                    break             # coordinator gone; nothing to tell
+                if message is None:
+                    continue
+                kind = message.get("kind")
+                if kind == "stop":
+                    try:
+                        self.channel.send(protocol.goodbye(self.worker_id))
+                    except ChannelClosed:
+                        pass
+                    break
+                if kind == "assign":
+                    self._run_assignment(message)
+        finally:
+            stop_beating.set()
+            beater.join(self.heartbeat_interval + 1.0)
+            self.channel.close()
+        return self.cells_run
+
+    def _beat(self, stop: threading.Event) -> None:
+        while not stop.wait(self.heartbeat_interval):
+            try:
+                self.channel.send(protocol.heartbeat(self.worker_id))
+            except ChannelClosed:
+                return
+
+    # -------------------------------------------------------------- cells
+    def _run_assignment(self, message) -> None:
+        job, key, attempt = message["job"], message["key"], message["attempt"]
+        spec = CellSpec.from_dict(message["spec"])
+        kinds: List[str] = []
+
+        def attempt_failed(_spec, _attempt, _error, kind) -> None:
+            kinds.append(kind)
+
+        outcome = run_cells(
+            [spec], jobs=1, timeout=self.cell_timeout, retries=0,
+            cell_fn=self.cell_fn, on_attempt_failed=attempt_failed,
+            mp_context=self.mp_context)[0]
+        self.cells_run += 1
+        if outcome.status == "done":
+            reply = protocol.result(job, key, attempt, "done",
+                                    result=result_to_dict(outcome.result))
+        elif outcome.violation is not None:
+            reply = protocol.result(job, key, attempt, "violation",
+                                    violation=outcome.violation,
+                                    error=outcome.error)
+        else:
+            kind = kinds[-1] if kinds else "error"
+            reply = protocol.result(job, key, attempt, kind,
+                                    error=outcome.error)
+        try:
+            self.channel.send(reply)
+        except ChannelClosed:
+            # The coordinator will have reassigned the cell; the result
+            # is deterministic, so the duplicate work is the only loss.
+            pass
+
+
+def worker_main(address: str, worker_id: Optional[str] = None, *,
+                heartbeat_interval: float = 0.5,
+                cell_timeout: Optional[float] = None,
+                connect_timeout: float = 10.0) -> int:
+    """Entry point for a socket-transport worker process (``repro worker``)."""
+    transport = SocketTransport()
+    try:
+        channel = transport.connect(address, timeout=connect_timeout)
+    except OSError as exc:
+        raise SystemExit(f"worker: cannot reach coordinator at "
+                         f"{address}: {exc}") from exc
+    worker = ServiceWorker(channel, worker_id,
+                           heartbeat_interval=heartbeat_interval,
+                           cell_timeout=cell_timeout)
+    worker.run()
+    return 0

@@ -1,0 +1,72 @@
+"""Pool drain on the interrupt path.
+
+``drain_pool`` is what SIGINT/SIGTERM on ``run_cells`` and service
+worker shutdown both funnel through: it must cancel in-flight cell
+deadlines before touching the processes (so no timeout fires for a
+cell being torn down), share one grace window across the whole pool,
+and escalate to SIGKILL only for workers that ignore SIGTERM.
+"""
+
+import multiprocessing
+import signal
+import time
+
+from repro.experiments.workers import CellSpec, _Running, drain_pool
+
+SPEC = CellSpec(task="select", arch="active", num_disks=2, scale=1 / 1024)
+
+
+def _sleep_politely(seconds):
+    time.sleep(seconds)
+
+
+def _ignore_sigterm_and_sleep(seconds):
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(seconds)
+
+
+def _entry(ctx, target, deadline=None):
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=target, args=(60.0,), daemon=True)
+    proc.start()
+    child.close()
+    return _Running(proc=proc, conn=parent, spec=SPEC, attempt=0,
+                    deadline=deadline)
+
+
+class TestDrainPool:
+    def test_pool_shares_one_grace_window(self):
+        """Three polite sleepers drain in ~one grace, not three."""
+        ctx = multiprocessing.get_context("fork")
+        entries = [_entry(ctx, _sleep_politely,
+                          deadline=time.monotonic() + 999.0)
+                   for _ in range(3)]
+        start = time.monotonic()
+        drain_pool(entries, grace=1.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 2.5, f"drain serialized the grace: {elapsed:.2f}s"
+        for entry in entries:
+            assert entry.deadline is None, "in-flight deadline left armed"
+            assert not entry.proc.is_alive()
+            assert entry.conn.closed
+
+    def test_sigterm_ignoring_worker_is_killed(self):
+        ctx = multiprocessing.get_context("fork")
+        entry = _entry(ctx, _ignore_sigterm_and_sleep)
+        # Let the child install its SIG_IGN handler before we TERM it.
+        time.sleep(0.3)
+        start = time.monotonic()
+        drain_pool([entry], grace=0.5)
+        elapsed = time.monotonic() - start
+        assert not entry.proc.is_alive()
+        assert elapsed < 5.0, f"stubborn worker stalled drain: {elapsed:.2f}s"
+        assert entry.deadline is None
+
+    def test_drain_tolerates_already_dead_worker(self):
+        ctx = multiprocessing.get_context("fork")
+        entry = _entry(ctx, _sleep_politely)
+        entry.proc.terminate()
+        entry.proc.join(5.0)
+        entry.conn.close()
+        drain_pool([entry], grace=0.2)   # must not raise
+        assert not entry.proc.is_alive()

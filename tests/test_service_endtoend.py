@@ -1,0 +1,154 @@
+"""Service end-to-end over real sockets and real worker processes.
+
+The acceptance path for the service: a quick fig1 submitted to a
+coordinator with two socket workers, one of which is SIGKILLed mid-run,
+must finish with the dead worker's cells reassigned and artifacts
+byte-identical to the inline single-process sweep — and the whole thing
+must drive through the installed CLI too.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments.harness import SweepRunner
+from repro.experiments.journal import SweepJournal
+from repro.service import Coordinator, SocketTransport, SweepRequest
+from repro.service.server import spawn_local_workers
+
+REQUEST = {"figure": "fig1", "sizes": [2], "tasks": ["select"],
+           "scale": 1 / 64}
+
+
+def _inline_artifacts(tmp_path):
+    out_dir = str(tmp_path / "inline-out")
+    request = SweepRequest.from_dict(dict(REQUEST, out_dir=out_dir))
+    request.run_with(SweepRunner(str(tmp_path / "inline.journal.jsonl")))
+    return out_dir
+
+
+def _assert_byte_identical(out_dir, inline_dir):
+    for name in ("fig1.txt", "fig1.csv"):
+        with open(os.path.join(out_dir, name), "rb") as service_file:
+            with open(os.path.join(inline_dir, name), "rb") as inline_file:
+                assert service_file.read() == inline_file.read(), name
+
+
+@pytest.fixture
+def socket_path(tmp_path):
+    # AF_UNIX paths are length-limited (~107 bytes); keep it short.
+    path = str(tmp_path / "c.sock")
+    if len(path) > 100:
+        pytest.skip(f"tmp_path too long for AF_UNIX: {path}")
+    return path
+
+
+class TestKillWorkerMidCell:
+    def test_sigkilled_worker_cells_reassigned_bit_identically(
+            self, tmp_path, socket_path):
+        listener = SocketTransport().listen(socket_path)
+        coordinator = Coordinator(str(tmp_path / "state"), listener,
+                                  out_dir=str(tmp_path / "out"),
+                                  retries=1, backoff=0.01,
+                                  heartbeat_timeout=5.0)
+        procs = spawn_local_workers(socket_path, 2,
+                                    heartbeat_interval=0.1)
+        try:
+            job = coordinator.submit(REQUEST)
+            # Step until some worker is mid-cell, then SIGKILL it. The
+            # socket EOF (not the heartbeat timer) reports the death.
+            victim = None
+            deadline = time.monotonic() + 60.0
+            while victim is None:
+                coordinator.step()
+                for state in coordinator.workers.values():
+                    if state.inflight is not None:
+                        victim = state
+                        break
+                assert time.monotonic() < deadline, "nothing dispatched"
+            os.kill(victim.pid, signal.SIGKILL)
+
+            queue = coordinator.queue
+            deadline = time.monotonic() + 120.0
+            while not (queue.counts()["done"] + queue.counts()["failed"]):
+                if not coordinator.step():
+                    time.sleep(0.002)
+                assert time.monotonic() < deadline, "job never finished"
+        finally:
+            coordinator.close()
+            for proc in procs:
+                proc.join(2.0)
+                if proc.is_alive():
+                    proc.kill()
+
+        assert queue.jobs[job.id].status == "done"
+        assert coordinator.workers[victim.id].lost
+        assert coordinator.counters["workers_lost"] == 1
+        journal = SweepJournal.load(coordinator.journal_path_for(job.id))
+        assert journal.counts()["done"] == 3
+        # The victim was provably mid-cell, so its cell was reassigned
+        # and the loss consumed one attempt.
+        assert journal.reassignments() >= 1
+        assert journal.service_event_counts().get("worker_lost", 0) >= 1
+        survivors = set(journal.worker_cells())
+        assert victim.id not in survivors or len(survivors) > 1
+        _assert_byte_identical(str(tmp_path / "out"),
+                               _inline_artifacts(tmp_path))
+
+
+class TestCliRoundTrip:
+    def test_serve_submit_status_through_cli(self, tmp_path, socket_path):
+        env = dict(os.environ,
+                   PYTHONPATH=os.pathsep.join(
+                       [os.path.join(os.path.dirname(__file__), os.pardir,
+                                     "src")]
+                       + ([os.environ["PYTHONPATH"]]
+                          if os.environ.get("PYTHONPATH") else [])),
+                   PYTHONHASHSEED="0")
+        out_dir = str(tmp_path / "out")
+        serve = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", socket_path,
+             "--state-dir", str(tmp_path / "state"),
+             "--out-dir", out_dir,
+             "--workers", "2", "--exit-after-jobs", "1"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        try:
+            submit = subprocess.run(
+                [sys.executable, "-m", "repro", "submit", "fig1",
+                 "--sizes", "2", "--tasks", "select", "--scale", "1/64",
+                 "--socket", socket_path,
+                 "--wait", "--wait-timeout", "120"],
+                env=env, capture_output=True, text=True, timeout=180)
+            assert submit.returncode == 0, submit.stdout + submit.stderr
+            assert "job-0001: done" in submit.stdout
+
+            status = subprocess.run(
+                [sys.executable, "-m", "repro", "status",
+                 "--socket", socket_path],
+                env=env, capture_output=True, text=True, timeout=30)
+            assert status.returncode == 0, status.stdout + status.stderr
+            assert "job-0001" in status.stdout
+            assert "1 done" in status.stdout
+
+            serve_output, _ = serve.communicate(timeout=60)
+            assert serve.returncode == 0, serve_output
+            assert "job-0001: done" in serve_output
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+                serve.communicate()
+
+        _assert_byte_identical(out_dir, _inline_artifacts(tmp_path))
+        doctor = subprocess.run(
+            [sys.executable, "-m", "repro", "doctor", "--journal",
+             str(tmp_path / "state" / "jobs" / "job-0001.journal.jsonl")],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert doctor.returncode == 0, doctor.stdout + doctor.stderr
+        assert "service run" in doctor.stdout
+        assert "worker w1" in doctor.stdout or "worker w2" in doctor.stdout

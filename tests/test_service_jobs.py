@@ -1,0 +1,76 @@
+"""JobQueue: crash-safe persistence and lifecycle of submitted sweeps."""
+
+import json
+
+import pytest
+
+from repro.service.jobs import JobQueue
+
+
+class TestJobQueue:
+    def test_submit_and_reload(self, tmp_path):
+        path = str(tmp_path / "queue.jsonl")
+        with JobQueue.load(path) as queue:
+            job = queue.submit({"figure": "fig1", "scale": 0.25})
+            assert job.id == "job-0001"
+            assert job.status == "queued"
+            queue.submit({"figure": "fig3"})
+        loaded = JobQueue.load(path)
+        assert [job.id for job in loaded.pending()] == ["job-0001",
+                                                        "job-0002"]
+        assert loaded.jobs["job-0001"].request == {"figure": "fig1",
+                                                   "scale": 0.25}
+
+    def test_status_transitions_survive_reload(self, tmp_path):
+        path = str(tmp_path / "queue.jsonl")
+        with JobQueue.load(path) as queue:
+            queue.submit({"figure": "fig1"})
+            queue.update("job-0001", "running")
+            queue.update("job-0001", "failed", error="3 cells quarantined")
+        loaded = JobQueue.load(path)
+        assert loaded.jobs["job-0001"].status == "failed"
+        assert loaded.jobs["job-0001"].error == "3 cells quarantined"
+        assert loaded.counts() == {"queued": 0, "running": 0, "done": 0,
+                                   "failed": 1}
+        assert loaded.pending() == []
+
+    def test_running_jobs_resume_before_queued(self, tmp_path):
+        """Jobs orphaned by a dead coordinator jump the queue on restart."""
+        path = str(tmp_path / "queue.jsonl")
+        with JobQueue.load(path) as queue:
+            queue.submit({"figure": "fig1"})
+            queue.submit({"figure": "fig2"})
+            queue.submit({"figure": "fig3"})
+            queue.update("job-0002", "running")   # ...then the kill -9
+        loaded = JobQueue.load(path)
+        assert [job.id for job in loaded.pending()] == [
+            "job-0002", "job-0001", "job-0003"]
+
+    def test_ids_stay_monotonic_across_reloads(self, tmp_path):
+        path = str(tmp_path / "queue.jsonl")
+        with JobQueue.load(path) as queue:
+            queue.submit({"figure": "fig1"})
+        with JobQueue.load(path) as queue:
+            assert queue.submit({"figure": "fig2"}).id == "job-0002"
+
+    def test_unknown_job_update_rejected(self, tmp_path):
+        with JobQueue.load(str(tmp_path / "queue.jsonl")) as queue:
+            with pytest.raises(KeyError):
+                queue.update("job-9999", "done")
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        with JobQueue.load(str(path)) as queue:
+            queue.submit({"figure": "fig1"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "job", "id": "job-0002", "stat')
+        loaded = JobQueue.load(str(path))
+        assert loaded.torn_lines == 1
+        assert list(loaded.jobs) == ["job-0001"]
+
+    def test_bad_status_in_log_rejected(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        record = {"kind": "job", "id": "job-0001", "status": "exploded"}
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ValueError, match="bad job status"):
+            JobQueue.load(str(path))
