@@ -16,6 +16,7 @@ Examples::
     python -m repro serve --workers 2
     python -m repro submit fig1 --scale 1/64 --wait
     python -m repro status
+    python -m repro chaos --quick --seed 7
 
 ``audit`` arms the runtime conservation-law auditors
 (``docs/INVARIANTS.md``): a seeded batch of differential fuzz cells runs
@@ -33,6 +34,12 @@ and a killed sweep picks up where it left off via ``resume`` (see
 sweep service: a coordinator with a persistent job queue dispatches
 cells to heartbeating workers over a socket, reassigning the cells of
 any worker that dies mid-run (see ``docs/SERVICE.md``).
+
+``chaos`` is the service's adversary: it replays a seeded schedule of
+message drops, duplicates, delays, partitions and kills against a live
+coordinator + workers and asserts the artifacts stay byte-identical to
+an inline sweep with every cell applied exactly once
+(see ``docs/CHAOS.md``).
 """
 
 from __future__ import annotations
@@ -230,6 +237,15 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="exit once N jobs reach done/failed "
                             "(for scripts and CI; default: serve forever)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       metavar="N",
+                       help="admission control: reject submits once N "
+                            "jobs are open (default: unbounded)")
+    serve.add_argument("--assign-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="reassign a cell stuck in flight this long "
+                            "(default: wait forever; set it on lossy "
+                            "links)")
 
     submit = sub.add_parser(
         "submit", help="enqueue a figure sweep on a running service")
@@ -269,6 +285,28 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="per-cell timeout (implies subprocess "
                              "isolation; default none)")
+
+    chaos = sub.add_parser(
+        "chaos", help="run the service chaos gauntlet: seeded message "
+                      "drops/duplicates/delays/partitions against a live "
+                      "coordinator + workers, asserting artifacts stay "
+                      "byte-identical to an inline sweep "
+                      "(see docs/CHAOS.md)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="CI smoke setting: 3-cell fig1 subset")
+    chaos.add_argument("--seed", type=int, default=0, metavar="S",
+                       help="chaos schedule seed (default 0); the same "
+                            "seed replays the same schedule")
+    chaos.add_argument("--plan", metavar="FILE", default=None,
+                       help="JSON chaos plan file (default: the stock "
+                            "drop+duplicate+delay+partition plan)")
+    chaos.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="socket worker processes (default 2)")
+    chaos.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="scratch dir for socket, journals and "
+                            "artifacts (default results/chaos)")
+    chaos.add_argument("--no-kill", action="store_true",
+                       help="skip the seeded mid-job worker SIGKILL")
 
     doctor = sub.add_parser(
         "doctor", help="check the environment and smoke-simulate one "
@@ -508,6 +546,8 @@ def _command_serve(args) -> int:
                  workers=args.workers,
                  retries=args.retries,
                  heartbeat_interval=args.heartbeat,
+                 assign_timeout=args.assign_timeout,
+                 max_pending=args.max_pending,
                  cell_timeout=args.cell_timeout,
                  exit_after_jobs=args.exit_after_jobs)
 
@@ -554,6 +594,32 @@ def _command_worker(args) -> int:
                            cell_timeout=args.cell_timeout)
     except KeyboardInterrupt:
         return 130
+
+
+def _command_chaos(args) -> int:
+    from .service.chaos import ChaosPlan
+    from .service.gauntlet import render_report, run_gauntlet
+    plan = None
+    if args.plan:
+        try:
+            plan = ChaosPlan.from_file(args.plan)
+        except (OSError, ValueError) as exc:
+            print(f"chaos: bad plan file: {exc}", file=sys.stderr)
+            return 2
+    state_dir = args.state_dir or os.path.join("results", "chaos")
+    try:
+        report = run_gauntlet(state_dir,
+                              plan=plan,
+                              seed=args.seed,
+                              workers=args.workers,
+                              quick=args.quick,
+                              kill_worker=not args.no_kill,
+                              log=print)
+    except (OSError, TimeoutError, ValueError) as exc:
+        print(f"chaos gauntlet failed to run: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(report))
+    return 0 if report["ok"] else 1
 
 
 def _command_bench(args) -> int:
@@ -667,6 +733,16 @@ def _command_doctor(args) -> int:
                 detail += (f"; service run ({journal.reassignments()} "
                            f"reassignment(s), {journal.heartbeat_losses()} "
                            f"heartbeat loss(es))")
+                hardening = [(journal.duplicates_dropped(),
+                              "duplicate(s) dropped"),
+                             (journal.epoch_fences(), "epoch fence(s)"),
+                             (journal.rejected_submits(),
+                              "rejected submit(s)"),
+                             (journal.reconnects(), "reconnect(s)")]
+                extras = ", ".join(f"{count} {label}"
+                                   for count, label in hardening if count)
+                if extras:
+                    detail += f"; hardening: {extras}"
                 for worker_id in sorted(worker_cells):
                     service_lines.append(f"  worker {worker_id}: "
                                          f"{worker_cells[worker_id]} "
@@ -677,6 +753,32 @@ def _command_doctor(args) -> int:
                         service_lines.append(
                             f"  reassigned {event.get('key', '?')} from "
                             f"{event.get('worker', '?')} "
+                            f"(attempt {event.get('attempt', '?')})")
+                    elif name == "epoch_fence":
+                        service_lines.append(
+                            f"  fenced stale result for "
+                            f"{event.get('key', '?')} from "
+                            f"{event.get('worker', '?')} (epoch "
+                            f"{event.get('stale_epoch', '?')}, current "
+                            f"{event.get('epoch', '?')})")
+                    elif name == "duplicate_dropped":
+                        service_lines.append(
+                            f"  dropped duplicate result for "
+                            f"{event.get('key', '?')} (attempt "
+                            f"{event.get('attempt', '?')}) from "
+                            f"{event.get('worker', '?')}")
+                    elif name == "submit_rejected":
+                        service_lines.append(
+                            f"  rejected a submit "
+                            f"({event.get('reason', '?')})")
+                    elif name == "worker_reconnect":
+                        service_lines.append(
+                            f"  worker {event.get('worker', '?')} "
+                            f"reconnected (epoch {event.get('epoch', '?')})")
+                    elif name == "assign_timeout":
+                        service_lines.append(
+                            f"  assignment of {event.get('key', '?')} to "
+                            f"{event.get('worker', '?')} timed out "
                             f"(attempt {event.get('attempt', '?')})")
                     else:
                         service_lines.append(
@@ -785,6 +887,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_status(args)
     if args.command == "worker":
         return _command_worker(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
     if args.command == "audit":
         return _command_audit(args)
     if args.command == "bench":

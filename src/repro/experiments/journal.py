@@ -296,6 +296,23 @@ class SweepJournal(AppendLog):
     def heartbeat_losses(self) -> int:
         return self.service_event_counts().get("heartbeat_loss", 0)
 
+    def duplicates_dropped(self) -> int:
+        """Late/duplicated results the coordinator refused to re-apply."""
+        return self.service_event_counts().get("duplicate_dropped", 0)
+
+    def epoch_fences(self) -> int:
+        """Frames dropped for carrying a superseded registration epoch."""
+        return self.service_event_counts().get("epoch_fence", 0)
+
+    def rejected_submits(self) -> int:
+        """Submits refused by admission control while this job ran."""
+        return self.service_event_counts().get("submit_rejected", 0)
+
+    def reconnects(self) -> int:
+        """Workers that re-registered under a fresh epoch."""
+        return (self.service_event_counts().get("worker_reconnect", 0)
+                + self.service_event_counts().get("worker_superseded", 0))
+
     def summary(self) -> str:
         counts = self.counts()
         parts = [f"{counts[s]} {s}" for s in STATUSES if counts[s]]

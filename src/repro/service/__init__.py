@@ -7,12 +7,28 @@ heartbeat, and execute one cell at a time. Workers that die mid-cell
 have their cell reassigned; a killed coordinator resumes from its
 journals bit-identically. ``docs/SERVICE.md`` has the full contract.
 
+The service is chaos-hardened: registrations are epoch-fenced, results
+apply exactly once, malformed frames drop only their channel, and
+workers reconnect with backoff. :mod:`.chaos` injects seeded transport
+faults to prove it, and :mod:`.gauntlet` (``repro chaos``) asserts the
+artifacts stay byte-identical under fire — ``docs/CHAOS.md``.
+
 Entry points: ``repro serve`` / ``repro submit`` / ``repro status`` /
-``repro worker`` in the CLI, or :func:`serve`, :func:`submit_request`,
-:func:`fetch_status` from code.
+``repro worker`` / ``repro chaos`` in the CLI, or :func:`serve`,
+:func:`submit_request`, :func:`fetch_status`, :func:`run_gauntlet`
+from code.
 """
 
+from .chaos import (
+    CHAOS_KINDS,
+    ChaosChannel,
+    ChaosListener,
+    ChaosPlan,
+    ChaosSpec,
+    ChaosTransport,
+)
 from .coordinator import COUNTERS, Coordinator, WorkerState
+from .gauntlet import default_plan, run_gauntlet
 from .jobs import JOB_STATUSES, Job, JobQueue
 from .requests import FIGURES, FigureDriver, SweepRequest
 from .server import (
@@ -28,15 +44,24 @@ from .transport import (
     ChannelClosed,
     InProcTransport,
     Listener,
+    MalformedFrame,
     SocketTransport,
     Transport,
 )
 from .worker import ServiceWorker, worker_main
 
 __all__ = [
+    "CHAOS_KINDS",
+    "ChaosChannel",
+    "ChaosListener",
+    "ChaosPlan",
+    "ChaosSpec",
+    "ChaosTransport",
     "COUNTERS",
     "Coordinator",
     "WorkerState",
+    "default_plan",
+    "run_gauntlet",
     "JOB_STATUSES",
     "Job",
     "JobQueue",
@@ -53,6 +78,7 @@ __all__ = [
     "ChannelClosed",
     "InProcTransport",
     "Listener",
+    "MalformedFrame",
     "SocketTransport",
     "Transport",
     "ServiceWorker",

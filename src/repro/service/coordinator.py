@@ -29,6 +29,33 @@ The coordinator is single-threaded: drive it with :meth:`step` (tests)
 or :meth:`serve_forever` (the ``repro serve`` loop). It is not
 thread-safe; submit over a transport channel instead of calling
 :meth:`submit` from another thread.
+
+Hardening (see ``docs/CHAOS.md`` for the guarantees and the chaos
+gauntlet that enforces them):
+
+* **Epoch fencing** — every worker registration gets a monotonic
+  per-id epoch, echoed in ``welcome`` and stamped by the worker on
+  every frame; a frame carrying a stale epoch is dropped and counted
+  (``service.fenced``), never applied. A reconnect under the same id
+  supersedes the previous registration.
+* **Exactly-once application** — results are deduplicated on
+  ``(job, cell, attempt)`` and a cell's ``done`` is journaled at most
+  once (``service.duplicate`` counts the drops), so duplicated or
+  delayed frames after a reassignment cannot double-apply. A late
+  ``done`` from a non-assignee still *salvages* the cell if it has not
+  been applied yet — a completed-but-unsent result that survived a
+  reconnect is work we keep.
+* **Malformed frames** — a non-JSON or schema-violating frame drops
+  only the offending channel, counted as ``service.malformed``; the
+  pump loop never dies for it.
+* **Admission control** — ``max_pending`` bounds the open-job queue;
+  excess submits get a structured ``rejected`` reply
+  (``service.rejected``), as do submits during drain
+  (:meth:`begin_drain`, entered by ``repro serve`` exit-linger).
+* **Assignment timeout** — with ``assign_timeout`` set, a cell
+  in flight longer than the limit is reassigned (one attempt
+  consumed), so a dropped ``assign`` or ``result`` frame cannot
+  wedge a job forever.
 """
 
 from __future__ import annotations
@@ -37,14 +64,14 @@ import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from ..experiments.journal import SweepJournal
 from ..experiments.workers import CellSpec
 from . import protocol
 from .jobs import Job, JobQueue
 from .requests import SweepRequest
-from .transport import Channel, ChannelClosed, Listener
+from .transport import Channel, ChannelClosed, Listener, MalformedFrame
 
 __all__ = ["Coordinator", "WorkerState", "COUNTERS"]
 
@@ -52,7 +79,8 @@ __all__ = ["Coordinator", "WorkerState", "COUNTERS"]
 #: as ``service.*`` — see docs/OBSERVABILITY.md).
 COUNTERS = ("jobs_submitted", "jobs_completed", "jobs_failed",
             "dispatched", "results", "resumed_cells", "reassigned",
-            "workers_lost", "heartbeats")
+            "workers_lost", "heartbeats",
+            "fenced", "duplicate", "malformed", "rejected", "reconnects")
 
 
 @dataclass
@@ -62,8 +90,10 @@ class WorkerState:
     id: str
     channel: Channel
     pid: Optional[int] = None
+    epoch: int = 1
     last_seen: float = 0.0
     inflight: Optional[Tuple[str, str, int]] = None   # (job, key, attempt)
+    assigned_at: float = 0.0
     completed: int = 0
     lost: bool = False
     lost_reason: Optional[str] = None
@@ -85,6 +115,10 @@ class _ActiveJob:
     resumed: int = 0
     quarantined: List[str] = field(default_factory=list)
     failures: Dict[str, List[str]] = field(default_factory=dict)
+    #: keys whose ``done`` has been journal-applied (exactly-once guard).
+    applied: Set[str] = field(default_factory=set)
+    #: (key, attempt) result frames already processed (duplicate guard).
+    seen: Set[Tuple[str, int]] = field(default_factory=set)
 
     def next_ready(self, now: float) -> Optional[Tuple[str, int]]:
         for index, (key, attempt, not_before) in enumerate(self.pending):
@@ -92,6 +126,11 @@ class _ActiveJob:
                 del self.pending[index]
                 return key, attempt
         return None
+
+    def drop_pending(self, key: str) -> None:
+        """Forget any scheduled (re)dispatch of ``key``."""
+        self.pending = deque(item for item in self.pending
+                             if item[0] != key)
 
     def finished(self) -> bool:
         return not self.pending and not self.inflight
@@ -111,6 +150,8 @@ class Coordinator:
                  retries: int = 1,
                  backoff: float = 0.05,
                  heartbeat_timeout: float = 3.0,
+                 assign_timeout: Optional[float] = None,
+                 max_pending: Optional[int] = None,
                  telemetry=None,
                  log: Optional[Callable[[str], None]] = None):
         if retries < 0:
@@ -118,12 +159,19 @@ class Coordinator:
         if heartbeat_timeout <= 0:
             raise ValueError(f"heartbeat_timeout must be positive, "
                              f"got {heartbeat_timeout}")
+        if assign_timeout is not None and assign_timeout <= 0:
+            raise ValueError(f"assign_timeout must be positive, "
+                             f"got {assign_timeout}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.state_dir = os.fspath(state_dir)
         self.listener = listener
         self.out_dir = out_dir
         self.retries = retries
         self.backoff = backoff
         self.heartbeat_timeout = heartbeat_timeout
+        self.assign_timeout = assign_timeout
+        self.max_pending = max_pending
         self.telemetry = telemetry
         self._log = log
         self.queue = JobQueue.load(os.path.join(self.state_dir,
@@ -132,6 +180,8 @@ class Coordinator:
         self.active: Optional[_ActiveJob] = None
         self._unclassified: List[Channel] = []
         self._worker_seq = 0
+        self._epochs: Dict[str, int] = {}
+        self._draining = False
         self._stopped = False
         self.counters: Dict[str, int] = {name: 0 for name in COUNTERS}
         if telemetry is not None:
@@ -190,6 +240,7 @@ class Coordinator:
         progress |= self._classify()
         progress |= self._pump_workers()
         progress |= self._check_heartbeats()
+        progress |= self._check_assignments()
         progress |= self._activate_next()
         if self.active is not None:
             progress |= self._dispatch()
@@ -206,6 +257,21 @@ class Coordinator:
 
     def stop(self) -> None:
         self._stopped = True
+
+    def begin_drain(self) -> None:
+        """Refuse new submits from now on; keep answering status.
+
+        ``repro serve`` enters drain when its exit-linger starts, so a
+        ``submit`` racing the shutdown gets a deterministic
+        ``rejected: shutting-down`` reply instead of a hang.
+        """
+        if not self._draining:
+            self._draining = True
+            self._say("draining: new submits will be rejected")
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     @property
     def stopped(self) -> bool:
@@ -250,6 +316,14 @@ class Coordinator:
                 self._unclassified.remove(channel)
                 channel.close()
                 continue
+            except MalformedFrame as exc:
+                # Garbage before we even know who is talking: count it,
+                # drop only this channel, keep serving everyone else.
+                self._unclassified.remove(channel)
+                channel.close()
+                self._note_malformed(str(exc))
+                progress = True
+                continue
             if message is None:
                 continue
             self._unclassified.remove(channel)
@@ -265,12 +339,7 @@ class Coordinator:
         # Client channels are one-shot: reply, then close.
         try:
             if kind == "submit":
-                try:
-                    job = self.submit(message.get("request") or {})
-                except ValueError as exc:
-                    channel.send(protocol.error_reply(str(exc)))
-                else:
-                    channel.send(protocol.submitted(job.id))
+                self._handle_submit(channel, message)
             elif kind == "status":
                 channel.send(protocol.status_reply(self.status()))
             else:
@@ -280,16 +349,62 @@ class Coordinator:
             pass
         channel.close()
 
+    def _handle_submit(self, channel: Channel, message: Dict) -> None:
+        if self._draining:
+            self._reject(channel, "shutting-down",
+                         queue=self.queue.counts())
+            return
+        open_jobs = self.queue.open_count()
+        if self.max_pending is not None and open_jobs >= self.max_pending:
+            self._reject(channel, "queue-full",
+                         depth=open_jobs, limit=self.max_pending)
+            return
+        try:
+            job = self.submit(message.get("request") or {})
+        except ValueError as exc:
+            channel.send(protocol.error_reply(str(exc)))
+        else:
+            channel.send(protocol.submitted(job.id))
+
+    def _reject(self, channel: Channel, reason: str, **fields) -> None:
+        self._count("rejected")
+        if self.active is not None:
+            self.active.journal.note_service("submit_rejected",
+                                             reason=reason)
+        self._say(f"rejected submit: {reason}")
+        channel.send(protocol.rejected(reason, **fields))
+
     def _register_worker(self, channel: Channel, message: Dict) -> None:
         self._worker_seq += 1
         worker_id = message.get("worker") or f"w{self._worker_seq}"
-        if worker_id in self.workers:
-            worker_id = f"{worker_id}.{self._worker_seq}"
+        epoch = self._epochs.get(worker_id, 0) + 1
+        self._epochs[worker_id] = epoch
+        previous = self.workers.get(worker_id)
+        if previous is not None:
+            self._count("reconnects")
+            if not previous.lost:
+                # Same id, new channel: the fresh registration wins and
+                # the stale one is fenced off (its in-flight cell, if
+                # any, is reassigned like any other loss).
+                self._lose_worker(previous,
+                                  f"superseded by epoch {epoch}",
+                                  event="worker_superseded",
+                                  count_lost=False)
+            elif self.active is not None:
+                self.active.journal.note_service("worker_reconnect",
+                                                 worker=worker_id,
+                                                 epoch=epoch)
         worker = WorkerState(id=worker_id, channel=channel,
-                             pid=message.get("pid"),
+                             pid=message.get("pid"), epoch=epoch,
                              last_seen=time.monotonic())
         self.workers[worker_id] = worker
-        self._say(f"worker {worker_id} connected"
+        try:
+            channel.send(protocol.welcome(worker_id, epoch))
+        except ChannelClosed:
+            self._lose_worker(worker, "welcome undeliverable",
+                              event="worker_lost")
+            return
+        self._say(f"worker {worker_id} connected (epoch {epoch})"
                   + (f" (pid {worker.pid})" if worker.pid else ""))
 
     # ----------------------------------------------------------- workers
@@ -305,6 +420,15 @@ class Coordinator:
                     self._lose_worker(worker, "connection closed",
                                       event="worker_lost")
                     break
+                except MalformedFrame as exc:
+                    # A corrupt frame means the stream can no longer be
+                    # trusted; drop this channel only — the pump loop
+                    # and every other worker keep going.
+                    self._note_malformed(str(exc), worker=worker.id)
+                    self._lose_worker(worker, "malformed frame",
+                                      event="worker_lost")
+                    progress = True
+                    break
                 if message is None:
                     break
                 progress = True
@@ -313,9 +437,29 @@ class Coordinator:
                     break
         return progress
 
+    def _note_malformed(self, detail: str, *,
+                        worker: Optional[str] = None) -> None:
+        self._count("malformed")
+        if self.active is not None:
+            fields = {"worker": worker} if worker is not None else {}
+            self.active.journal.note_service("malformed_frame", **fields)
+        self._say(f"dropped malformed frame: {detail}")
+
     def _on_worker_message(self, worker: WorkerState, message: Dict) -> None:
         now = time.monotonic()
         kind = message.get("kind")
+        epoch = message.get("epoch")
+        if epoch is not None and epoch != worker.epoch:
+            # Provably from a superseded registration of this id.
+            self._count("fenced")
+            if kind == "result" and self.active is not None:
+                self.active.journal.note_service(
+                    "epoch_fence", worker=worker.id,
+                    key=message.get("key"), stale_epoch=epoch,
+                    epoch=worker.epoch)
+            self._say(f"fenced {kind or '?'} from {worker.id} "
+                      f"(epoch {epoch}, current {worker.epoch})")
+            return
         if kind == "heartbeat":
             lag = now - worker.last_seen
             worker.last_seen = now
@@ -348,6 +492,42 @@ class Coordinator:
                 progress = True
         return progress
 
+    def _check_assignments(self) -> bool:
+        """Reassign cells stuck in flight past ``assign_timeout``.
+
+        A dropped ``assign`` or ``result`` frame leaves a healthy,
+        heartbeating worker holding a cell forever; the timeout turns
+        that wedge into an ordinary consumed attempt. The worker stays
+        registered — if it was actually computing, its eventual
+        ``done`` is salvaged (or deduplicated) by the result path.
+        """
+        if self.assign_timeout is None:
+            return False
+        now = time.monotonic()
+        progress = False
+        for worker in list(self.workers.values()):
+            if worker.lost or worker.inflight is None:
+                continue
+            stalled = now - worker.assigned_at
+            if stalled <= self.assign_timeout:
+                continue
+            job_id, key, attempt = worker.inflight
+            worker.inflight = None
+            active = self.active
+            if active is None or active.job.id != job_id:
+                continue
+            if active.inflight.get(key) == worker.id:
+                active.inflight.pop(key, None)
+            active.journal.note_service("assign_timeout", worker=worker.id,
+                                        key=key, attempt=attempt)
+            self._attempt_failed(
+                active, key, attempt,
+                f"assignment to {worker.id} stalled "
+                f"({stalled:.1f}s > {self.assign_timeout:g}s)",
+                "timeout", reassign_from=worker.id)
+            progress = True
+        return progress
+
     def _lose_worker(self, worker: WorkerState, reason: str, *,
                      event: str, count_lost: bool = True) -> None:
         if worker.lost:
@@ -369,6 +549,8 @@ class Coordinator:
         job_id, key, attempt = inflight
         if active is None or active.job.id != job_id:
             return   # the job already finished without this cell
+        if active.inflight.get(key) != worker.id:
+            return   # the cell already moved on (salvaged or reassigned)
         active.inflight.pop(key, None)
         # A lost worker is indistinguishable from a crashed one: the
         # attempt is spent, exactly as the local pool counts it.
@@ -378,25 +560,66 @@ class Coordinator:
 
     # ----------------------------------------------------------- results
     def _on_result(self, worker: WorkerState, message: Dict) -> None:
-        active = self.active
         job_id = message.get("job")
         key = message.get("key")
+        attempt = message.get("attempt", 0)
+        status = message.get("status")
+        if (not isinstance(job_id, str) or not isinstance(key, str)
+                or isinstance(attempt, bool) or not isinstance(attempt, int)
+                or status not in protocol.RESULT_STATUSES):
+            # Valid JSON, broken schema: same treatment as line noise.
+            self._note_malformed(
+                f"schema-violating result from {worker.id}",
+                worker=worker.id)
+            self._lose_worker(worker, "schema-violating result",
+                              event="worker_lost")
+            return
+        if worker.inflight == (job_id, key, attempt):
+            worker.inflight = None
+        active = self.active
         if (active is None or active.job.id != job_id
-                or active.inflight.get(key) != worker.id):
-            # Stale result (e.g. from a worker we already declared lost
-            # whose cell was re-dispatched): the journal keeps the copy
-            # that the current assignment produces.
+                or key not in active.specs):
             self._say(f"ignoring stale result for {key} "
                       f"from worker {worker.id}")
             return
-        worker.inflight = None
+        if key in active.applied or (key, attempt) in active.seen:
+            # Exactly-once guard: this (job, cell, attempt) — or the
+            # cell's terminal state — was already applied. Drop it.
+            self._count("duplicate")
+            active.journal.note_service("duplicate_dropped",
+                                        worker=worker.id, key=key,
+                                        attempt=attempt)
+            self._say(f"dropped duplicate result for {key} "
+                      f"(attempt {attempt}) from worker {worker.id}")
+            return
+        assignee = active.inflight.get(key)
+        if assignee != worker.id and status != "done":
+            # A failure report for an assignment that is no longer this
+            # worker's: the live assignment decides the cell's fate.
+            self._count("fenced")
+            self._say(f"ignoring stale {status} result for {key} "
+                      f"from worker {worker.id}")
+            return
+        if assignee is not None and assignee != worker.id:
+            # Completed-but-unsent result salvaged after reassignment:
+            # first result wins; un-assign the other copy (its eventual
+            # duplicate is dropped by the guard above).
+            other = self.workers.get(assignee)
+            if (other is not None and other.inflight is not None
+                    and other.inflight[1] == key):
+                other.inflight = None
+            self._say(f"salvaged {key} from worker {worker.id}; "
+                      f"withdrawing the copy on {assignee}")
+        active.seen.add((key, attempt))
         active.inflight.pop(key, None)
+        if status == "done":
+            # A done result also cancels any scheduled retry of the key.
+            active.drop_pending(key)
         self._count("results")
-        attempt = message.get("attempt", 0)
-        status = message.get("status")
         if status == "done":
             worker.completed += 1
             active.done += 1
+            active.applied.add(key)
             active.journal.note_cell(key, "done", attempt=attempt,
                                      result=message.get("result"),
                                      worker=worker.id)
@@ -405,14 +628,10 @@ class Coordinator:
                              message.get("error") or "invariant violation",
                              violation=message.get("violation"),
                              worker=worker.id)
-        elif status in ("error", "timeout", "crashed"):
+        else:   # error / timeout / crashed
             self._attempt_failed(active, key, attempt,
                                  message.get("error") or status, status,
                                  worker=worker.id)
-        else:
-            self._attempt_failed(active, key, attempt,
-                                 f"malformed result status {status!r}",
-                                 "error", worker=worker.id)
 
     def _attempt_failed(self, active: _ActiveJob, key: str, attempt: int,
                         error: str, kind: str, *,
@@ -438,6 +657,9 @@ class Coordinator:
                     error: str, violation: Optional[Dict] = None,
                     worker: Optional[str] = None) -> None:
         active.quarantined.append(key)
+        # Quarantine is terminal too: a late result for the key must be
+        # dropped as a duplicate, not resurrect the cell.
+        active.applied.add(key)
         active.journal.note_cell(key, "quarantined", attempt=attempt,
                                  error=_last_line(error),
                                  violation=violation, worker=worker)
@@ -476,6 +698,7 @@ class Coordinator:
                     and state.result is not None):
                 active.done += 1
                 active.resumed += 1
+                active.applied.add(key)
                 continue
             if state is None or state.config_hash != spec.config_hash():
                 journal.note_cell(key, "pending", spec=spec.to_dict(),
@@ -503,6 +726,7 @@ class Coordinator:
             key, attempt = ready
             spec = active.specs[key]
             worker.inflight = (active.job.id, key, attempt)
+            worker.assigned_at = now
             active.inflight[key] = worker.id
             active.journal.note_cell(key, "running", attempt=attempt,
                                      worker=worker.id)
@@ -563,7 +787,7 @@ class Coordinator:
         workers = []
         for worker in self.workers.values():
             workers.append({
-                "id": worker.id, "pid": worker.pid,
+                "id": worker.id, "pid": worker.pid, "epoch": worker.epoch,
                 "lost": worker.lost, "lost_reason": worker.lost_reason,
                 "completed": worker.completed,
                 "inflight": worker.inflight[1] if worker.inflight else None,
@@ -571,6 +795,7 @@ class Coordinator:
             })
         return {
             "address": self.listener.address,
+            "draining": self._draining,
             "queue": self.queue.counts(),
             "jobs": jobs,
             "workers": workers,

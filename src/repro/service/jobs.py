@@ -99,6 +99,11 @@ class JobQueue(AppendLog):
             out[job.status] += 1
         return out
 
+    def open_count(self) -> int:
+        """Jobs still owed work — the coordinator's admission gauge."""
+        counts = self.counts()
+        return counts["queued"] + counts["running"]
+
     def summary(self) -> str:
         counts = self.counts()
         parts = [f"{counts[s]} {s}" for s in JOB_STATUSES if counts[s]]

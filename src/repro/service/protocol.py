@@ -12,6 +12,7 @@ Worker -> coordinator
     ``goodbye``     graceful disconnect
 
 Coordinator -> worker
+    ``welcome``     registration ack; carries the worker's **epoch**
     ``assign``      one cell to execute (spec + attempt number)
     ``stop``        shut the worker down
 
@@ -22,7 +23,16 @@ Client -> coordinator (one-shot channels)
 Coordinator -> client
     ``submitted``   carries the new job id
     ``status``      queue depth, jobs, per-worker liveness, counters
+    ``rejected``    admission control said no (queue full, draining)
     ``error``       the request could not be honoured
+
+The **epoch** is a per-worker-id registration counter: every time a
+worker (re)registers, the coordinator bumps it and echoes it in
+``welcome``; the worker then stamps it on every ``heartbeat``,
+``result`` and ``goodbye``. A frame carrying a stale epoch is provably
+from a superseded registration and is fenced (dropped, counted,
+journaled) instead of applied — see ``docs/CHAOS.md``. The epoch field
+is optional on the wire so version-1 peers interoperate.
 
 ``result.status`` reuses the worker-pool failure taxonomy of
 :mod:`repro.experiments.workers`: ``done``, ``error``, ``timeout``,
@@ -37,8 +47,9 @@ from typing import Dict, Optional
 __all__ = [
     "PROTOCOL_VERSION", "RESULT_STATUSES",
     "hello", "heartbeat", "result", "goodbye",
-    "assign", "stop",
+    "welcome", "assign", "stop",
     "submit", "submitted", "status_request", "status_reply", "error_reply",
+    "rejected",
 ]
 
 PROTOCOL_VERSION = 1
@@ -53,14 +64,18 @@ def hello(worker: str, pid: int) -> Dict:
             "worker": worker, "pid": pid}
 
 
-def heartbeat(worker: str) -> Dict:
-    return {"kind": "heartbeat", "worker": worker}
+def heartbeat(worker: str, epoch: Optional[int] = None) -> Dict:
+    message = {"kind": "heartbeat", "worker": worker}
+    if epoch is not None:
+        message["epoch"] = epoch
+    return message
 
 
 def result(job: str, key: str, attempt: int, status: str, *,
            result: Optional[Dict] = None,
            error: Optional[str] = None,
-           violation: Optional[Dict] = None) -> Dict:
+           violation: Optional[Dict] = None,
+           epoch: Optional[int] = None) -> Dict:
     if status not in RESULT_STATUSES:
         raise ValueError(f"bad result status {status!r}; "
                          f"pick one of {RESULT_STATUSES}")
@@ -72,14 +87,24 @@ def result(job: str, key: str, attempt: int, status: str, *,
         message["error"] = error
     if violation is not None:
         message["violation"] = violation
+    if epoch is not None:
+        message["epoch"] = epoch
     return message
 
 
-def goodbye(worker: str) -> Dict:
-    return {"kind": "goodbye", "worker": worker}
+def goodbye(worker: str, epoch: Optional[int] = None) -> Dict:
+    message = {"kind": "goodbye", "worker": worker}
+    if epoch is not None:
+        message["epoch"] = epoch
+    return message
 
 
 # -------------------------------------------------------- coordinator ->
+def welcome(worker: str, epoch: int) -> Dict:
+    return {"kind": "welcome", "version": PROTOCOL_VERSION,
+            "worker": worker, "epoch": epoch}
+
+
 def assign(job: str, key: str, spec: Dict, attempt: int) -> Dict:
     return {"kind": "assign", "job": job, "key": key, "spec": spec,
             "attempt": attempt}
@@ -110,3 +135,10 @@ def status_reply(payload: Dict) -> Dict:
 
 def error_reply(message: str) -> Dict:
     return {"kind": "error", "error": message}
+
+
+def rejected(reason: str, **fields) -> Dict:
+    """Admission-control refusal (``queue-full``, ``shutting-down``)."""
+    message = {"kind": "rejected", "reason": reason}
+    message.update(fields)
+    return message

@@ -102,6 +102,8 @@ def serve(socket_path: Optional[str] = None, *,
           backoff: float = 0.05,
           heartbeat_interval: float = 0.5,
           heartbeat_timeout: Optional[float] = None,
+          assign_timeout: Optional[float] = None,
+          max_pending: Optional[int] = None,
           cell_timeout: Optional[float] = None,
           exit_after_jobs: Optional[int] = None,
           exit_linger: float = 2.0,
@@ -121,6 +123,8 @@ def serve(socket_path: Optional[str] = None, *,
                               retries=retries, backoff=backoff,
                               heartbeat_timeout=(heartbeat_timeout
                                                  or 6 * heartbeat_interval),
+                              assign_timeout=assign_timeout,
+                              max_pending=max_pending,
                               telemetry=telemetry, log=log)
     procs = spawn_local_workers(address, workers,
                                 heartbeat_interval=heartbeat_interval,
@@ -143,7 +147,10 @@ def serve(socket_path: Optional[str] = None, *,
                         log(f"processed {terminal} job(s); exiting "
                             f"(--exit-after-jobs {exit_after_jobs})")
                         # Keep answering status queries briefly so a
-                        # `submit --wait` client sees the final state.
+                        # `submit --wait` client sees the final state;
+                        # drain so a racing submit gets a deterministic
+                        # `rejected: shutting-down` instead of a hang.
+                        coordinator.begin_drain()
                         linger_until = time.monotonic() + exit_linger
                 if (linger_until is not None
                         and time.monotonic() >= linger_until):
@@ -180,6 +187,12 @@ def _one_shot(address: str, message: Dict, timeout: float) -> Dict:
                            f"within {timeout:g}s")
     if reply.get("kind") == "error":
         raise ValueError(reply.get("error") or "coordinator refused")
+    if reply.get("kind") == "rejected":
+        reason = reply.get("reason") or "rejected"
+        detail = ", ".join(f"{key}={value}" for key, value in reply.items()
+                           if key not in ("kind", "reason"))
+        raise ValueError(f"coordinator rejected request: {reason}"
+                         + (f" ({detail})" if detail else ""))
     return reply
 
 

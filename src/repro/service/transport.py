@@ -11,7 +11,8 @@ stream-shaped tomorrow) only has to implement four methods:
   atomically with respect to other senders on the same channel.
 * ``Channel.recv(timeout)`` — the next message, ``None`` on timeout,
   :class:`ChannelClosed` once the peer is gone (after any buffered
-  messages have been drained).
+  messages have been drained), :class:`MalformedFrame` for a line that
+  is not one JSON object (the channel itself stays usable).
 * ``Listener.accept(timeout)`` — the next inbound :class:`Channel`, or
   ``None``.
 * ``Transport.connect(address)`` — dial a listener.
@@ -45,12 +46,30 @@ import time
 from collections import deque
 from typing import Dict, Optional
 
-__all__ = ["ChannelClosed", "Channel", "Listener", "Transport",
-           "InProcTransport", "SocketTransport", "is_path_address"]
+__all__ = ["ChannelClosed", "MalformedFrame", "Channel", "Listener",
+           "Transport", "InProcTransport", "SocketTransport",
+           "is_path_address"]
 
 
 class ChannelClosed(ConnectionError):
     """The peer is gone: EOF on the stream or the channel was closed."""
+
+
+class MalformedFrame(ValueError):
+    """A received line is not one well-formed JSON object.
+
+    The stream framing itself (newline-delimited) is intact, so only
+    this frame's payload is garbage and the channel stays usable — the
+    *policy* for a malformed frame (drop it, count it, quarantine the
+    channel) is the receiver's call, which is why this is an exception
+    out of :meth:`Channel.recv` rather than a silent skip.
+    """
+
+    def __init__(self, peer: str, text: str):
+        preview = text if len(text) <= 80 else text[:77] + "..."
+        super().__init__(f"{peer}: malformed frame {preview!r}")
+        self.peer = peer
+        self.text = text
 
 
 class Channel:
@@ -61,11 +80,22 @@ class Channel:
     def send(self, message: Dict) -> None:
         raise NotImplementedError
 
+    def send_text(self, text: str) -> None:
+        """Send one raw line verbatim, bypassing JSON encoding.
+
+        Exists so a chaos wrapper can put corrupted bytes on the wire;
+        production senders always use :meth:`send`. ``text`` must not
+        contain a newline (it would silently become two frames).
+        """
+        raise NotImplementedError
+
     def recv(self, timeout: Optional[float] = None) -> Optional[Dict]:
         """Next message; ``None`` on timeout (``0`` polls without blocking).
 
         Raises :class:`ChannelClosed` once the peer is gone and every
-        buffered message has been drained.
+        buffered message has been drained, and :class:`MalformedFrame`
+        for a line that does not parse as one JSON object (the channel
+        stays usable; only that frame is consumed).
         """
         raise NotImplementedError
 
@@ -106,6 +136,26 @@ class Transport:
 _EOF = object()
 
 
+class _RawLine:
+    """A verbatim line in an in-process inbox (see ``send_text``)."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        self.text = text
+
+
+def _decode_line(peer: str, text: str) -> Dict:
+    """Parse one frame; anything but a JSON object is malformed."""
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError:
+        raise MalformedFrame(peer, text) from None
+    if not isinstance(message, dict):
+        raise MalformedFrame(peer, text)
+    return message
+
+
 class _InProcChannel(Channel):
     def __init__(self, peer: str):
         self.peer = peer
@@ -124,6 +174,14 @@ class _InProcChannel(Channel):
         # non-serializable message fails here, not in production).
         partner._inbox.put(json.loads(json.dumps(message, sort_keys=True)))
 
+    def send_text(self, text: str) -> None:
+        if self._closed:
+            raise ChannelClosed(f"{self.peer}: channel closed")
+        partner = self._partner
+        if partner is None or partner._closed:
+            raise ChannelClosed(f"{self.peer}: peer closed")
+        partner._inbox.put(_RawLine(text))
+
     def recv(self, timeout: Optional[float] = None) -> Optional[Dict]:
         try:
             if timeout == 0:
@@ -137,6 +195,8 @@ class _InProcChannel(Channel):
         if item is _EOF:
             self._inbox.put(_EOF)   # keep raising for later callers
             raise ChannelClosed(f"{self.peer}: peer closed")
+        if isinstance(item, _RawLine):
+            return _decode_line(self.peer, item.text)
         return item
 
     def poll(self) -> bool:
@@ -231,7 +291,13 @@ class _SocketChannel(Channel):
         self._eof = False
 
     def send(self, message: Dict) -> None:
-        data = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+        self._send_bytes(
+            (json.dumps(message, sort_keys=True) + "\n").encode("utf-8"))
+
+    def send_text(self, text: str) -> None:
+        self._send_bytes((text + "\n").encode("utf-8", "replace"))
+
+    def _send_bytes(self, data: bytes) -> None:
         try:
             with self._send_lock:
                 self._sock.sendall(data)
@@ -265,7 +331,9 @@ class _SocketChannel(Channel):
                     else time.monotonic() + timeout)
         while True:
             if self._lines:
-                return json.loads(self._lines.popleft().decode("utf-8"))
+                return _decode_line(
+                    self.peer,
+                    self._lines.popleft().decode("utf-8", "replace"))
             if deadline is None:
                 self._fill(None)
                 continue

@@ -1,0 +1,316 @@
+"""Chaos injection: spec/plan validation and round-trips, per-kind
+channel behaviour over the in-process transport, schedule determinism,
+and the full gauntlet (seeded chaos + SIGKILL over sockets) asserting
+byte identity and exactly-once application."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    CHAOS_KINDS,
+    ChaosChannel,
+    ChaosPlan,
+    ChaosSpec,
+    ChaosTransport,
+    ChannelClosed,
+    InProcTransport,
+    MalformedFrame,
+)
+from repro.service.gauntlet import (
+    _done_record_counts,
+    default_plan,
+    run_gauntlet,
+)
+
+
+# ------------------------------------------------------------ spec / plan
+class TestChaosSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            ChaosSpec(kind="gremlin")
+
+    def test_rejects_bad_direction_and_probability(self):
+        with pytest.raises(ValueError, match="direction"):
+            ChaosSpec(kind="drop", direction="sideways")
+        for probability in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="probability"):
+                ChaosSpec(kind="drop", probability=probability)
+
+    def test_magnitude_rules_per_kind(self):
+        with pytest.raises(ValueError, match="magnitude >= 1"):
+            ChaosSpec(kind="delay")            # counted kinds need one
+        with pytest.raises(ValueError, match="magnitude >= 1"):
+            ChaosSpec(kind="partition")
+        with pytest.raises(ValueError, match="no magnitude"):
+            ChaosSpec(kind="drop", magnitude=2)
+        with pytest.raises(ValueError, match="whole"):
+            ChaosSpec(kind="delay", magnitude=1.5)
+        ChaosSpec(kind="corrupt")              # 0 -> default mangling
+
+    def test_dict_round_trip_skips_defaults(self):
+        spec = ChaosSpec(kind="delay", target="accept#2", probability=0.25,
+                         magnitude=3)
+        data = spec.to_dict()
+        assert data == {"kind": "delay", "target": "accept#2",
+                        "probability": 0.25, "magnitude": 3}
+        assert ChaosSpec.from_dict(data) == spec
+        with pytest.raises(ValueError, match="unknown chaos spec fields"):
+            ChaosSpec.from_dict({"kind": "drop", "severity": 9})
+
+    def test_matches_role_and_direction(self):
+        spec = ChaosSpec(kind="drop", target="accept*", direction="recv")
+        assert spec.matches("accept#3", "recv")
+        assert not spec.matches("accept#3", "send")
+        assert not spec.matches("connect#1", "recv")
+        both = ChaosSpec(kind="drop", target="*", direction="both")
+        assert both.matches("connect#1", "send")
+        assert both.matches("connect#1", "recv")
+
+
+class TestChaosPlan:
+    def test_json_round_trip(self):
+        plan = ChaosPlan.of(
+            ChaosSpec(kind="drop", target="accept*", probability=0.1),
+            ChaosSpec(kind="partition", direction="recv",
+                      probability=0.05, magnitude=4, limit=1),
+            seed=42)
+        clone = ChaosPlan.from_json(plan.to_json())
+        assert clone == plan
+        assert clone.seed == 42 and len(clone) == 2
+
+    def test_file_round_trip(self, tmp_path):
+        plan = default_plan(seed=7)
+        path = str(tmp_path / "plan.json")
+        plan.to_file(path)
+        assert ChaosPlan.from_file(path) == plan
+        with open(path) as handle:        # the documented schema
+            data = json.load(handle)
+        assert set(data) == {"seed", "chaos"}
+
+    def test_rejects_unknown_fields_and_bad_types(self):
+        with pytest.raises(ValueError, match="unknown chaos plan fields"):
+            ChaosPlan.from_dict({"seed": 1, "rules": []})
+        with pytest.raises(ValueError, match="list of chaos specs"):
+            ChaosPlan.from_dict({"chaos": "drop"})
+        with pytest.raises(TypeError, match="expected ChaosSpec"):
+            ChaosPlan(specs=({"kind": "drop"},))
+
+
+# ----------------------------------------------------------- channel kinds
+def _pair(transport=None):
+    """A (client, server) raw in-process channel pair."""
+    transport = transport or InProcTransport()
+    listener = transport.listen("chaos-test")
+    client = transport.connect("chaos-test")
+    server = listener.accept(1.0)
+    return client, server
+
+
+def _wrap(server, *specs, seed=0):
+    return ChaosChannel(server, ChaosPlan.of(*specs, seed=seed), "accept#1")
+
+
+class TestChaosChannelKinds:
+    def test_drop_on_send_vanishes(self):
+        client, server = _pair()
+        chaos = _wrap(server, ChaosSpec(kind="drop", limit=1))
+        chaos.send({"n": 1})                  # dropped
+        chaos.send({"n": 2})                  # limit hit: flows
+        assert client.recv(0.5) == {"n": 2}
+        assert client.recv(0) is None
+
+    def test_drop_on_recv_consumes_frame(self):
+        client, server = _pair()
+        chaos = _wrap(server, ChaosSpec(kind="drop", direction="recv",
+                                        limit=1))
+        client.send({"n": 1})
+        client.send({"n": 2})
+        assert chaos.recv(0.5) is None        # frame consumed, nothing left
+        assert chaos.recv(0.5) == {"n": 2}
+
+    def test_duplicate_delivers_twice_each_direction(self):
+        client, server = _pair()
+        chaos = _wrap(server,
+                      ChaosSpec(kind="duplicate", direction="both", limit=2))
+        chaos.send({"n": 1})
+        assert client.recv(0.5) == {"n": 1}
+        assert client.recv(0.5) == {"n": 1}
+        client.send({"n": 2})
+        assert chaos.recv(0.5) == {"n": 2}
+        assert chaos.recv(0.5) == {"n": 2}    # the queued deep copy
+
+    def test_delay_reorders_past_magnitude_messages(self):
+        client, server = _pair()
+        chaos = _wrap(server, ChaosSpec(kind="delay", magnitude=2, limit=1))
+        chaos.send({"n": 1})                  # held until 2 more pass
+        chaos.send({"n": 2})
+        chaos.send({"n": 3})                  # releases the held frame first
+        got = [client.recv(0.5) for _ in range(3)]
+        assert got == [{"n": 2}, {"n": 1}, {"n": 3}]
+
+    def test_corrupt_on_send_is_malformed_at_receiver(self):
+        client, server = _pair()
+        # Mangle most of a short frame so the garbage cannot still parse.
+        chaos = _wrap(server, ChaosSpec(kind="corrupt", magnitude=6,
+                                        limit=1))
+        chaos.send({"n": 1})
+        with pytest.raises(MalformedFrame):
+            client.recv(0.5)
+        chaos.send({"n": 2})                  # channel survives the frame
+        assert client.recv(0.5) == {"n": 2}
+
+    def test_corrupt_on_recv_raises_malformed(self):
+        client, server = _pair()
+        chaos = _wrap(server, ChaosSpec(kind="corrupt", direction="recv",
+                                        magnitude=6, limit=1))
+        client.send({"n": 1})
+        with pytest.raises(MalformedFrame):
+            chaos.recv(0.5)
+
+    def test_disconnect_closes_abruptly(self):
+        client, server = _pair()
+        chaos = _wrap(server, ChaosSpec(kind="disconnect"))
+        with pytest.raises(ChannelClosed, match="chaos disconnect"):
+            chaos.send({"n": 1})
+        with pytest.raises(ChannelClosed):
+            client.recv(0.5)
+
+    def test_partition_mutes_a_window_one_way(self):
+        client, server = _pair()
+        chaos = _wrap(server, ChaosSpec(kind="partition", magnitude=2,
+                                        limit=1))
+        for n in range(1, 5):
+            chaos.send({"n": n})              # 1 opens the window; 2,3 muted
+        assert client.recv(0.5) == {"n": 4}
+        assert client.recv(0) is None
+        client.send({"back": 1})              # the other direction flows
+        assert chaos.recv(0.5) == {"back": 1}
+
+    def test_after_gate_arms_late(self):
+        client, server = _pair()
+        chaos = _wrap(server, ChaosSpec(kind="drop", after=2))
+        chaos.send({"n": 1})
+        chaos.send({"n": 2})
+        chaos.send({"n": 3})                  # first armed message: dropped
+        assert client.recv(0.5) == {"n": 1}
+        assert client.recv(0.5) == {"n": 2}
+        assert client.recv(0) is None
+
+    def test_close_flushes_held_sends_late(self):
+        client, server = _pair()
+        chaos = _wrap(server, ChaosSpec(kind="delay", magnitude=50, limit=1))
+        chaos.send({"late": True})            # held "in flight"
+        chaos.close()                         # the late-result scenario
+        assert client.recv(0.5) == {"late": True}
+
+
+# ------------------------------------------------------------- determinism
+def _schedule(seed, messages=40):
+    """Which of ``messages`` sends survive a probabilistic drop rule."""
+    client, server = _pair()
+    chaos = _wrap(server, ChaosSpec(kind="drop", probability=0.5),
+                  seed=seed)
+    for n in range(messages):
+        chaos.send({"n": n})
+    survived = []
+    while True:
+        message = client.recv(0)
+        if message is None:
+            break
+        survived.append(message["n"])
+    return tuple(survived)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert _schedule(seed=11) == _schedule(seed=11)
+
+    def test_different_seed_different_schedule(self):
+        assert _schedule(seed=11) != _schedule(seed=12)
+
+    def test_roles_get_independent_streams(self):
+        plan = ChaosPlan.of(ChaosSpec(kind="drop", probability=0.5), seed=3)
+        outcomes = {}
+        for role in ("accept#1", "accept#2"):
+            client, server = _pair()
+            chaos = ChaosChannel(server, plan, role)
+            for n in range(40):
+                chaos.send({"n": n})
+            got = []
+            while (message := client.recv(0)) is not None:
+                got.append(message["n"])
+            outcomes[role] = tuple(got)
+        assert outcomes["accept#1"] != outcomes["accept#2"]
+
+
+class TestChaosTransport:
+    def test_wrapper_assigns_roles_and_counts_firings(self):
+        inner = InProcTransport()
+        chaos = ChaosTransport(inner, ChaosPlan.of(
+            ChaosSpec(kind="drop", target="accept#1", limit=1)))
+        listener = chaos.listen("svc")
+        first_client = chaos.connect("svc")
+        first = listener.accept(1.0)
+        second_client = chaos.connect("svc")
+        second = listener.accept(1.0)
+        assert (first.role, second.role) == ("accept#1", "accept#2")
+        assert (first_client.role, second_client.role) == ("connect#1",
+                                                           "connect#2")
+        first.send({"n": 1})                  # dropped; only accept#1 armed
+        second.send({"n": 1})
+        assert second_client.inner.recv(0.5) == {"n": 1}
+        assert chaos.stats == {"drop": 1}
+
+    def test_telemetry_mirrors_chaos_counters(self):
+        from repro.telemetry import Telemetry
+        telemetry = Telemetry()
+        chaos = ChaosTransport(InProcTransport(), ChaosPlan.of(
+            ChaosSpec(kind="duplicate", limit=1)), telemetry=telemetry)
+        registry = telemetry.registry
+        for kind in CHAOS_KINDS + ("partitioned",):
+            assert registry.counter(f"service.chaos.{kind}").value == 0
+        listener = chaos.listen("svc")
+        client = chaos.connect("svc")
+        server = listener.accept(1.0)
+        server.send({"n": 1})
+        assert registry.counter("service.chaos.duplicate").value == 1
+        client.close()
+        server.close()
+
+
+# --------------------------------------------------------------- gauntlet
+class TestGauntlet:
+    def test_quick_gauntlet_is_exactly_once_and_byte_identical(
+            self, tmp_path):
+        messages = []
+        report = run_gauntlet(str(tmp_path / "gauntlet"), quick=True,
+                              seed=3, workers=2, log=messages.append)
+        assert report["ok"], report
+        assert report["status"] == "done"
+        assert report["duplicates_applied"] == {}
+        assert set(report["done_records"].values()) == {1}
+        assert len(report["done_records"]) == report["cells"]
+        assert report["artifacts"]["identical"]
+        # The raw journal agrees with the report.
+        assert _done_record_counts(report["journal"]) \
+            == report["done_records"]
+        # Chaos and the kill actually happened.
+        assert any("SIGKILL" in message for message in messages)
+
+    def test_same_seed_same_plan(self):
+        assert default_plan(9).to_dict() == default_plan(9).to_dict()
+        assert default_plan(9).to_dict() != default_plan(10).to_dict()
+
+    def test_production_path_never_constructs_the_wrapper(self):
+        """With no plan armed the hot path is unchanged, not gated:
+        the production modules do not even reference the chaos types."""
+        import inspect
+
+        import repro.service.coordinator
+        import repro.service.server
+        import repro.service.transport
+        import repro.service.worker
+        for module in (repro.service.server, repro.service.coordinator,
+                       repro.service.worker, repro.service.transport):
+            assert "Chaos" not in inspect.getsource(module), module
