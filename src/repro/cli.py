@@ -12,6 +12,9 @@ Examples::
     python -m repro doctor --journal results/fig1.journal.jsonl
     python -m repro sweep fig1 --jobs 4 --retries 1 --scale 1/64
     python -m repro resume results/fig1.journal.jsonl
+    python -m repro traffic --arch active --sessions 20000
+    python -m repro traffic --arch all --policy fair-share --loads 0.5,2
+    python -m repro traffic --smoke
     python -m repro audit --quick
     python -m repro serve --workers 2
     python -m repro submit fig1 --scale 1/64 --wait
@@ -34,6 +37,13 @@ and a killed sweep picks up where it left off via ``resume`` (see
 sweep service: a coordinator with a persistent job queue dispatches
 cells to heartbeating workers over a socket, reassigning the cells of
 any worker that dies mid-run (see ``docs/SERVICE.md``).
+
+``traffic`` drives an open-loop multi-tenant session stream (seeded
+Poisson arrivals, Zipf tenant/task mix) at each architecture through a
+bounded admission queue with a configurable shedding policy, and
+renders latency (exact p50/p95/p99) against offered load — the
+saturation curve. ``--smoke`` is the CI overload gate
+(see ``docs/TRAFFIC.md``).
 
 ``chaos`` is the service's adversary: it replays a seeded schedule of
 message drops, duplicates, delays, partitions and kills against a live
@@ -105,6 +115,17 @@ def _parse_interval(text: str) -> Optional[float]:
         raise argparse.ArgumentTypeError(
             f"sample interval must be >= 0, got {text!r}")
     return value or None
+
+
+def _parse_loads(text: str) -> List[float]:
+    try:
+        loads = [float(token) for token in text.split(",") if token]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad load list: {text!r}")
+    if not loads or any(load <= 0 for load in loads):
+        raise argparse.ArgumentTypeError(
+            f"offered loads must be positive: {text!r}")
+    return loads
 
 
 def _parse_tasks(text: str) -> List[str]:
@@ -181,6 +202,69 @@ def build_parser() -> argparse.ArgumentParser:
                                "run's elapsed time (default 0.3)")
     degraded.add_argument("--scale", type=parse_scale, default=DEFAULT_SCALE)
     degraded.add_argument("--seed", type=int, default=0)
+
+    traffic = sub.add_parser(
+        "traffic", help="open-loop multi-tenant traffic: offered-load "
+                        "sweep with admission control, load shedding and "
+                        "a saturation-curve report (see docs/TRAFFIC.md)")
+    traffic.add_argument("--arch", choices=("active", "cluster", "smp",
+                                            "all"),
+                         default="active",
+                         help="architecture to drive (default active)")
+    traffic.add_argument("--disks", type=int, default=16,
+                         help="farm size: disks / nodes / CPUs "
+                              "(default 16)")
+    traffic.add_argument("--sessions", type=int, default=2000, metavar="N",
+                         help="open-loop sessions per load point "
+                              "(default 2000); memory stays flat no "
+                              "matter how large")
+    traffic.add_argument("--seed", type=int, default=0,
+                         help="arrival-stream seed (default 0); the same "
+                              "seed replays the same byte-identical run")
+    traffic.add_argument("--loads", type=_parse_loads, default=None,
+                         metavar="X,Y,...",
+                         help="offered loads as multiples of capacity "
+                              "(default 0.5,0.9,1.5)")
+    traffic.add_argument("--policy", choices=("reject-newest",
+                                              "deadline-drop",
+                                              "fair-share"),
+                         default="reject-newest",
+                         help="shedding policy at the admission queue "
+                              "(default reject-newest)")
+    traffic.add_argument("--queue-capacity", type=int, default=64,
+                         metavar="N",
+                         help="bounded admission queue depth (default 64)")
+    traffic.add_argument("--tenants", type=int, default=4, metavar="N",
+                         help="tenants sharing the machine (default 4)")
+    traffic.add_argument("--tenant-theta", type=float, default=1.0,
+                         metavar="T",
+                         help="Zipf skew across tenants (default 1.0)")
+    traffic.add_argument("--task-theta", type=float, default=0.5,
+                         metavar="T",
+                         help="Zipf skew across tasks (default 0.5)")
+    traffic.add_argument("--tasks", type=_parse_tasks, default=None,
+                         help="task subset for the session mix "
+                              "(default: all eight)")
+    traffic.add_argument("--scale", type=parse_scale, default="1/128",
+                         help="dataset scale per session (default 1/128)")
+    traffic.add_argument("--deadline-factor", type=float, default=8.0,
+                         metavar="F",
+                         help="deadline = arrival + F x service demand; "
+                              "0 disables deadlines so overload sheds "
+                              "instead of missing (default 8)")
+    traffic.add_argument("--journal", metavar="FILE", default=None,
+                         help="journal the grid through the resilient "
+                              "harness (resumable with 'repro resume')")
+    traffic.add_argument("--out-dir", default="results",
+                         help="directory for traffic.txt/traffic.csv and "
+                              "MANIFEST.json (default results)")
+    traffic.add_argument("--smoke", action="store_true",
+                         help="CI gate: light + saturating load on every "
+                              "architecture with deadlines off; asserts "
+                              "zero sheds when light, nonzero sheds with "
+                              "bounded queues and flat memory when "
+                              "saturated")
+    _add_harness_flags(traffic)
 
     sweep = sub.add_parser(
         "sweep", help="run a figure grid through the resilient harness "
@@ -392,6 +476,11 @@ def _add_harness_flags(cmd) -> None:
     cmd.add_argument("--retries", type=int, default=1, metavar="K",
                      help="retry attempts before a cell is quarantined "
                           "(default 1)")
+    cmd.add_argument("--memory-budget", type=int, default=None,
+                     metavar="MB",
+                     help="per-cell address-space budget in MB (implies "
+                          "process isolation); a cell that busts it is "
+                          "quarantined as 'oom', not retried")
 
 
 def _scale_value(args) -> float:
@@ -475,10 +564,158 @@ def _command_degraded(args) -> str:
     return "\n".join(lines)
 
 
+def _traffic_grid(args):
+    """Expand the traffic CLI flags into keyed sweep cells."""
+    from .experiments import ARCHITECTURES
+    from .traffic import DEFAULT_LOADS, TrafficConfig, traffic_cell
+
+    archs = ARCHITECTURES if args.arch == "all" else (args.arch,)
+    loads = tuple(args.loads) if args.loads else DEFAULT_LOADS
+    grid = {}
+    for arch in archs:
+        for load in loads:
+            tconfig = TrafficConfig(
+                arch=arch, num_disks=args.disks, sessions=args.sessions,
+                seed=args.seed, load=load, policy=args.policy,
+                queue_capacity=args.queue_capacity, tenants=args.tenants,
+                tenant_theta=args.tenant_theta,
+                task_theta=args.task_theta,
+                tasks=tuple(args.tasks) if args.tasks else (),
+                scale=_scale_value(args),
+                deadline_factor=args.deadline_factor)
+            grid[(arch, args.disks, load, args.policy)] = \
+                traffic_cell(tconfig)
+    return grid
+
+
+def _command_traffic(args) -> int:
+    """Offered-load sweep -> saturation-curve artifacts (or --smoke)."""
+    if args.smoke:
+        return _traffic_smoke(args)
+    from .experiments import SweepRunner
+    from .experiments.artifacts import atomic_write_text, write_manifest
+    from .experiments.export import rows_to_csv
+    from .experiments.harness import execute_cells
+    from .traffic import TrafficFigure, traffic_rows
+
+    grid = _traffic_grid(args)
+    runner = None
+    journal = args.journal
+    if journal or args.jobs > 1 or args.timeout is not None \
+            or args.memory_budget is not None:
+        if journal is None:
+            os.makedirs(args.out_dir, exist_ok=True)
+            journal = os.path.join(args.out_dir, "traffic.journal.jsonl")
+        runner = SweepRunner(journal, jobs=args.jobs, timeout=args.timeout,
+                             retries=args.retries,
+                             memory_budget_mb=args.memory_budget)
+    results = execute_cells(list(grid.values()), runner)
+    figure = TrafficFigure({point: results[spec.key].extras
+                            for point, spec in grid.items()})
+    text = figure.render()
+    os.makedirs(args.out_dir, exist_ok=True)
+    atomic_write_text(os.path.join(args.out_dir, "traffic.txt"),
+                      text + "\n")
+    atomic_write_text(os.path.join(args.out_dir, "traffic.csv"),
+                      rows_to_csv(traffic_rows(figure)))
+    write_manifest(args.out_dir)
+    print(text)
+    tail = []
+    if runner is not None:
+        counters = ", ".join(f"{name}={value}"
+                             for name, value in runner.counters.items()
+                             if value)
+        tail.append(f"harness: {counters or 'nothing to do'}")
+        tail.append(f"journal: {journal}")
+    tail.append(f"artifacts: {args.out_dir}/traffic.txt, "
+                f"{args.out_dir}/traffic.csv "
+                f"(checksums in {args.out_dir}/MANIFEST.json)")
+    print("\n".join(tail))
+    return 0
+
+
+def _traffic_smoke(args) -> int:
+    """The CI overload gate: every architecture, deadlines off.
+
+    With deadlines disabled the admission policy is the only escape
+    valve, so the assertions are sharp: a light stream must shed
+    nothing, a saturating one must shed without the queue ever busting
+    its bound, and the Python-heap peak must stay flat in the session
+    count (both flatness runs exceed the quantile reservoir cap, so
+    any growth is a real leak).
+    """
+    import tracemalloc
+
+    from .experiments import ARCHITECTURES
+    from .experiments.artifacts import atomic_write_text
+    from .traffic import TrafficConfig, run_traffic
+
+    def cell(arch: str, load: float, sessions: int) -> "TrafficConfig":
+        return TrafficConfig(
+            arch=arch, num_disks=args.disks, sessions=sessions,
+            seed=args.seed, load=load, policy=args.policy,
+            queue_capacity=args.queue_capacity, tenants=args.tenants,
+            tenant_theta=args.tenant_theta, task_theta=args.task_theta,
+            tasks=tuple(args.tasks) if args.tasks else (),
+            scale=_scale_value(args), deadline_factor=0.0)
+
+    failures = []
+    lines = ["traffic smoke: open-loop overload gate (deadlines off)"]
+    for arch in ARCHITECTURES:
+        light = run_traffic(cell(arch, 0.4, 400))
+        heavy = run_traffic(cell(arch, 1.6, 800))
+        for name, ok in (
+                ("light load sheds nothing", light.shed == 0),
+                ("light load accounted", light.accounted),
+                ("saturating load sheds", heavy.shed > 0),
+                ("saturating load accounted", heavy.accounted),
+                ("queue stays bounded", heavy.peak_queue_depth
+                 <= heavy.config.queue_capacity)):
+            if not ok:
+                failures.append(f"{arch}: {name}")
+        sojourn = heavy.sojourn
+        lines.append(
+            f"  {arch:8s} light: shed {light.shed}/{light.arrivals}"
+            f"  saturated: shed {heavy.shed}/{heavy.arrivals}"
+            f" peak queue {heavy.peak_queue_depth}"
+            f"/{heavy.config.queue_capacity}"
+            f" p50 {sojourn['p50']:.3f}s p95 {sojourn['p95']:.3f}s"
+            f" p99 {sojourn['p99']:.3f}s")
+
+    # Both flatness points lie past the point where the quantile
+    # reservoirs saturate (4096 samples), so the only growth left to
+    # measure would be a genuine per-session leak.
+    sizes = (8000, 16000)
+    peaks = []
+    for sessions in sizes:
+        tracemalloc.start()
+        run_traffic(cell("active", 1.6, sessions))
+        peaks.append(tracemalloc.get_traced_memory()[1])
+        tracemalloc.stop()
+    ratio = peaks[1] / peaks[0] if peaks[0] else float("inf")
+    lines.append(f"  memory: heap peak {peaks[0] / 1024:.0f} KiB at "
+                 f"{sizes[0]} sessions, {peaks[1] / 1024:.0f} KiB at "
+                 f"{sizes[1]} (ratio {ratio:.3f})")
+    if ratio > 1.10:
+        failures.append(
+            f"heap peak grows with session count (x{ratio:.3f})")
+
+    lines.append("traffic smoke: "
+                 + ("ok" if not failures
+                    else "FAIL: " + "; ".join(failures)))
+    report = "\n".join(lines)
+    print(report)
+    os.makedirs(args.out_dir, exist_ok=True)
+    atomic_write_text(os.path.join(args.out_dir, "traffic-smoke.txt"),
+                      report + "\n")
+    return 1 if failures else 0
+
+
 def _run_figure_sweep(figure: str, sizes, tasks, scale: float,
                       journal: Optional[str], out_dir: str,
                       jobs: int, timeout: Optional[float],
-                      retries: int) -> str:
+                      retries: int,
+                      memory_budget: Optional[int] = None) -> str:
     """Run one figure through the harness and write crash-safe artifacts."""
     from .experiments import SweepRunner
     from .service.requests import SweepRequest
@@ -491,7 +728,8 @@ def _run_figure_sweep(figure: str, sizes, tasks, scale: float,
     if journal is None:
         journal = os.path.join(out_dir, f"{figure}.journal.jsonl")
     runner = SweepRunner(journal, jobs=jobs, timeout=timeout,
-                         retries=retries, meta=request.meta())
+                         retries=retries, meta=request.meta(),
+                         memory_budget_mb=memory_budget)
     text = request.run_with(runner)
     counters = ", ".join(f"{name}={value}"
                          for name, value in runner.counters.items() if value)
@@ -505,7 +743,8 @@ def _run_figure_sweep(figure: str, sizes, tasks, scale: float,
 def _command_sweep(args) -> str:
     return _run_figure_sweep(
         args.figure, args.sizes, args.tasks, _scale_value(args),
-        args.journal, args.out_dir, args.jobs, args.timeout, args.retries)
+        args.journal, args.out_dir, args.jobs, args.timeout, args.retries,
+        args.memory_budget)
 
 
 def _command_resume(args) -> str:
@@ -519,10 +758,12 @@ def _command_resume(args) -> str:
         return _run_figure_sweep(
             meta["figure"], meta.get("sizes"), meta.get("tasks"),
             meta.get("scale", parse_scale(DEFAULT_SCALE)),
-            args.journal, out_dir, args.jobs, args.timeout, args.retries)
+            args.journal, out_dir, args.jobs, args.timeout, args.retries,
+            args.memory_budget)
     # A journal without driver metadata: just complete its cells.
     _, results = resume_sweep(args.journal, jobs=args.jobs,
-                              timeout=args.timeout, retries=args.retries)
+                              timeout=args.timeout, retries=args.retries,
+                              memory_budget_mb=args.memory_budget)
     lines = [f"resumed {args.journal}: {len(results)} cell(s) complete"]
     for key in sorted(results):
         lines.append(f"  {key}: {results[key].elapsed:.3f}s")
@@ -711,6 +952,22 @@ def _command_doctor(args) -> int:
         except Exception as exc:
             checks.append((f"smoke: select on {arch}", False, repr(exc)))
 
+    try:
+        from .traffic import TrafficConfig, run_traffic
+        traffic = run_traffic(TrafficConfig(
+            arch="active", num_disks=8, sessions=200, load=1.2,
+            queue_capacity=16, scale=1 / 256))
+        sojourn = traffic.sojourn
+        checks.append(("smoke: open-loop traffic (exact quantiles)",
+                       traffic.accounted,
+                       f"p50 {sojourn['p50']:.3f}s "
+                       f"p95 {sojourn['p95']:.3f}s "
+                       f"p99 {sojourn['p99']:.3f}s over "
+                       f"{traffic.arrivals} sessions"))
+    except Exception as exc:
+        checks.append(("smoke: open-loop traffic (exact quantiles)",
+                       False, repr(exc)))
+
     violated = {}
     service_lines = []
     if getattr(args, "journal", None):
@@ -721,12 +978,16 @@ def _command_doctor(args) -> int:
             checks.append((f"journal {args.journal}", False, str(exc)))
         else:
             violated = journal.violated()
+            oom_cells = journal.oom_cells()
             counts = journal.counts()
             detail = ", ".join(f"{value} {status}"
                                for status, value in counts.items()
                                if value) or "empty"
             if violated:
                 detail += f"; {len(violated)} invariant violation(s)"
+            if oom_cells:
+                detail += (f"; {len(oom_cells)} cell(s) over their "
+                           f"memory budget")
             worker_cells = journal.worker_cells()
             if worker_cells or journal.service_events:
                 # A service journal: attribute the work and the losses.
@@ -785,7 +1046,10 @@ def _command_doctor(args) -> int:
                             f"  {name}: {event.get('worker', '?')}"
                             + (f" ({event['reason']})"
                                if event.get("reason") else ""))
-            checks.append((f"journal {args.journal}", not violated, detail))
+            for key, cell in sorted(oom_cells.items()):
+                service_lines.append(f"  oom: {key}: {cell.error}")
+            checks.append((f"journal {args.journal}",
+                           not violated and not oom_cells, detail))
 
     width = max(len(name) for name, _, _ in checks)
     for name, ok, detail in checks:
@@ -879,6 +1143,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "doctor":
         return _command_doctor(args)
+    if args.command == "traffic":
+        from .experiments import SweepInterrupted
+        try:
+            return _command_traffic(args)
+        except SweepInterrupted as exc:
+            print(exc, file=sys.stderr)
+            return 130
     if args.command == "serve":
         return _command_serve(args)
     if args.command == "submit":

@@ -42,7 +42,7 @@ __all__ = ["SweepRunner", "SweepInterrupted", "execute_cells",
 
 #: Counter names every runner tracks (and mirrors into telemetry).
 COUNTERS = ("scheduled", "resumed_cells", "completed", "retries",
-            "timeouts", "crashes", "violations", "quarantined")
+            "timeouts", "crashes", "violations", "ooms", "quarantined")
 
 
 class SweepInterrupted(Exception):
@@ -64,7 +64,8 @@ class SweepRunner:
                  strict: bool = True,
                  telemetry=None,
                  meta: Optional[Dict] = None,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 memory_budget_mb: Optional[int] = None):
         self.journal_path = journal_path
         self.jobs = jobs
         self.timeout = timeout
@@ -74,6 +75,7 @@ class SweepRunner:
         self.telemetry = telemetry
         self.meta = dict(meta or {})
         self.mp_context = mp_context
+        self.memory_budget_mb = memory_budget_mb
         self.counters: Dict[str, int] = {name: 0 for name in COUNTERS}
         self.quarantined: List[CellOutcome] = []
 
@@ -141,6 +143,8 @@ class SweepRunner:
                 self._count("crashes")
             elif kind == "violation":
                 self._count("violations")
+            elif kind == "oom":
+                self._count("ooms")
 
         def on_outcome(outcome: CellOutcome) -> None:
             if outcome.status == "done":
@@ -158,7 +162,8 @@ class SweepRunner:
                         outcome.key, "quarantined",
                         attempt=outcome.attempts - 1,
                         error=_last_line(outcome.error or ""),
-                        violation=outcome.violation)
+                        violation=outcome.violation,
+                        oom=outcome.oom or None)
             if after_cell is not None:
                 after_cell(outcome)
 
@@ -169,7 +174,8 @@ class SweepRunner:
                           on_start=on_start,
                           on_attempt_failed=on_attempt_failed,
                           on_outcome=on_outcome,
-                          mp_context=self.mp_context)
+                          mp_context=self.mp_context,
+                          memory_budget_mb=self.memory_budget_mb)
         except (KeyboardInterrupt, SweepInterrupted) as exc:
             if journal is not None:
                 journal.close()
@@ -242,6 +248,7 @@ def resume_sweep(journal_path: str, *,
                  jobs: int = 1, timeout: Optional[float] = None,
                  retries: int = 0, strict: bool = True,
                  telemetry=None,
+                 memory_budget_mb: Optional[int] = None,
                  ) -> Tuple[Dict, Dict[str, RunResult]]:
     """Complete a sweep from its journal alone.
 
@@ -260,5 +267,6 @@ def resume_sweep(journal_path: str, *,
         specs.append(CellSpec.from_dict(state.spec))
     runner = SweepRunner(journal_path, jobs=jobs, timeout=timeout,
                          retries=retries, strict=strict,
-                         telemetry=telemetry)
+                         telemetry=telemetry,
+                         memory_budget_mb=memory_budget_mb)
     return dict(journal.meta), runner.run(specs)

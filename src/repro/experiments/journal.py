@@ -153,6 +153,7 @@ class CellState:
     result: Optional[Dict] = None
     error: Optional[str] = None
     violation: Optional[Dict] = None
+    oom: bool = False
     worker: Optional[str] = None
     failures: List[str] = field(default_factory=list)
 
@@ -199,10 +200,13 @@ class SweepJournal(AppendLog):
             cell.result = record.get("result")
             cell.error = None
             cell.violation = None
+            cell.oom = False
         elif status in ("failed", "quarantined"):
             cell.error = record.get("error")
             if record.get("violation") is not None:
                 cell.violation = record["violation"]
+            if record.get("oom"):
+                cell.oom = True
             if record.get("error"):
                 cell.failures.append(record["error"])
 
@@ -217,6 +221,7 @@ class SweepJournal(AppendLog):
                   result: Optional[Dict] = None,
                   error: Optional[str] = None,
                   violation: Optional[Dict] = None,
+                  oom: Optional[bool] = None,
                   worker: Optional[str] = None) -> None:
         if status not in STATUSES:
             raise ValueError(f"bad status {status!r}")
@@ -233,6 +238,8 @@ class SweepJournal(AppendLog):
             record["error"] = error
         if violation is not None:
             record["violation"] = violation
+        if oom:
+            record["oom"] = True
         if worker is not None:
             record["worker"] = worker
         self._append(record)
@@ -266,6 +273,11 @@ class SweepJournal(AppendLog):
         """Cells whose latest failure was an invariant violation."""
         return {key: cell for key, cell in self.cells.items()
                 if cell.violation is not None}
+
+    def oom_cells(self) -> Dict[str, CellState]:
+        """Cells quarantined for busting their per-cell memory budget."""
+        return {key: cell for key, cell in self.cells.items()
+                if cell.oom}
 
     def counts(self) -> Dict[str, int]:
         out = {status: 0 for status in STATUSES}

@@ -57,6 +57,10 @@ class CellSpec:
     fault_at: Optional[float] = None
     fault_seed: int = 0
     audit: bool = False
+    #: Traffic cells: a :class:`repro.traffic.TrafficConfig` encoding.
+    #: ``task`` is "traffic" by convention; ``run_cell`` dispatches to
+    #: the open-loop engine instead of a single-query simulation.
+    traffic: Optional[Dict] = field(default=None, hash=False)
 
     @property
     def key(self) -> str:
@@ -127,6 +131,9 @@ def run_cell(spec: CellSpec, invariants=None,
     """
     from .runner import run_task
 
+    if spec.traffic is not None:
+        from ..traffic.driver import run_traffic_cell
+        return run_traffic_cell(spec)
     if invariants is None and spec.audit:
         from ..invariants import InvariantAuditor
         invariants = InvariantAuditor()
@@ -152,6 +159,7 @@ class CellOutcome:
     result: Optional[RunResult] = None
     error: Optional[str] = None
     violation: Optional[Dict] = None
+    oom: bool = False               # quarantined for busting a memory budget
     failures: List[str] = field(default_factory=list)
 
     @property
@@ -160,12 +168,49 @@ class CellOutcome:
 
 
 # ----------------------------------------------------------- subprocess
-def _worker_main(cell_fn, spec_dict: Dict, conn) -> None:
+def _apply_memory_budget(budget_mb: int) -> bool:
+    """Cap this process's address space at ``budget_mb`` megabytes.
+
+    Returns False where RLIMIT_AS is unavailable (non-POSIX platforms);
+    the budget then degrades to unenforced rather than failing the cell.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - windows
+        return False
+    budget = budget_mb * MB
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    if hard != resource.RLIM_INFINITY:
+        budget = min(budget, hard)
+    try:
+        resource.setrlimit(resource.RLIMIT_AS, (budget, hard))
+    except (ValueError, OSError):  # pragma: no cover - exotic hard limits
+        return False
+    return True
+
+
+def _worker_main(cell_fn, spec_dict: Dict, conn,
+                 memory_budget_mb: Optional[int] = None) -> None:
     """Entry point of one worker subprocess: run one cell, pipe it back."""
     from ..invariants import InvariantViolation
+    if memory_budget_mb is not None:
+        _apply_memory_budget(memory_budget_mb)
     try:
         result = cell_fn(CellSpec.from_dict(spec_dict))
         conn.send(("ok", result_to_dict(result)))
+    except MemoryError:
+        # The allocation that tripped RLIMIT_AS is gone once the frame
+        # unwinds; keep this handler allocation-light all the same. A
+        # MemoryError with no budget set is host pressure, not a budget
+        # bust — report it as an ordinary (retryable) error.
+        kind = "oom" if memory_budget_mb is not None else "error"
+        message = (f"cell exceeded its {memory_budget_mb} MB memory budget"
+                   if memory_budget_mb is not None
+                   else "MemoryError outside any configured budget")
+        try:
+            conn.send((kind, message))
+        except BrokenPipeError:  # pragma: no cover - supervisor died
+            pass
     except InvariantViolation as violation:
         try:
             conn.send(("violation", {
@@ -252,18 +297,26 @@ def run_cells(specs: Sequence[CellSpec], *,
                   Callable[[CellSpec, int, str, str], None]] = None,
               on_outcome: Optional[Callable[[CellOutcome], None]] = None,
               mp_context: Optional[str] = None,
+              memory_budget_mb: Optional[int] = None,
               ) -> List[CellOutcome]:
     """Execute every spec, retrying and quarantining as configured.
 
     Callbacks fire in the supervising process, in event order:
     ``on_start(spec, attempt)`` when an attempt launches,
     ``on_attempt_failed(spec, attempt, error, kind)`` when one fails
-    (``kind`` is ``"error"``, ``"timeout"``, ``"crashed"`` or
-    ``"violation"``), and ``on_outcome(outcome)`` once per cell at its
-    terminal state. An :class:`~repro.invariants.InvariantViolation` is
-    deterministic — the cell is quarantined immediately, with the
-    violation's structured ledger on the outcome, instead of burning
-    retries on a modelling defect.
+    (``kind`` is ``"error"``, ``"timeout"``, ``"crashed"``,
+    ``"violation"`` or ``"oom"``), and ``on_outcome(outcome)`` once per
+    cell at its terminal state. An
+    :class:`~repro.invariants.InvariantViolation` is deterministic —
+    the cell is quarantined immediately, with the violation's
+    structured ledger on the outcome, instead of burning retries on a
+    modelling defect. ``memory_budget_mb`` caps each cell's address
+    space (RLIMIT_AS, POSIX only) and forces subprocess isolation even
+    at ``jobs=1``; a cell that busts the budget raises a trapped
+    ``MemoryError`` in its own process and is quarantined as ``oom`` —
+    rerunning the same deterministic simulation into the same budget
+    would allocate the same bytes, so retrying is as pointless as for
+    a violation, and the worker host stays up.
     ``KeyboardInterrupt`` (and the SIGTERM handler that re-raises as
     one) propagates out of this function after every live worker has
     been terminated — no orphan processes.
@@ -274,7 +327,10 @@ def run_cells(specs: Sequence[CellSpec], *,
         raise ValueError(f"retries must be >= 0, got {retries}")
     if timeout is not None and timeout <= 0:
         raise ValueError(f"timeout must be positive, got {timeout}")
-    isolate = jobs > 1 or timeout is not None
+    if memory_budget_mb is not None and memory_budget_mb < 1:
+        raise ValueError(
+            f"memory budget must be >= 1 MB, got {memory_budget_mb}")
+    isolate = jobs > 1 or timeout is not None or memory_budget_mb is not None
     if not isolate:
         return _run_inline(specs, retries=retries, backoff=backoff,
                            cell_fn=cell_fn, on_start=on_start,
@@ -283,7 +339,8 @@ def run_cells(specs: Sequence[CellSpec], *,
     return _run_pool(specs, jobs=jobs, timeout=timeout, retries=retries,
                      backoff=backoff, cell_fn=cell_fn, on_start=on_start,
                      on_attempt_failed=on_attempt_failed,
-                     on_outcome=on_outcome, mp_context=mp_context)
+                     on_outcome=on_outcome, mp_context=mp_context,
+                     memory_budget_mb=memory_budget_mb)
 
 
 def _finish(outcomes: List[CellOutcome], outcome: CellOutcome,
@@ -335,7 +392,8 @@ def _run_inline(specs, *, retries, backoff, cell_fn,
 
 
 def _run_pool(specs, *, jobs, timeout, retries, backoff, cell_fn,
-              on_start, on_attempt_failed, on_outcome, mp_context):
+              on_start, on_attempt_failed, on_outcome, mp_context,
+              memory_budget_mb=None):
     ctx = _mp_context(mp_context)
     # (spec, attempt, not_before, failures)
     queue: deque = deque((spec, 0, 0.0, []) for spec in specs)
@@ -349,9 +407,9 @@ def _run_pool(specs, *, jobs, timeout, retries, backoff, cell_fn,
         failures.append(error)
         if on_attempt_failed is not None:
             on_attempt_failed(entry.spec, entry.attempt, error, kind)
-        # Violations are deterministic modelling defects: retrying would
-        # replay the identical simulation into the identical violation.
-        if kind != "violation" and entry.attempt < retries:
+        # Violations and budget busts are deterministic: retrying would
+        # replay the identical simulation into the identical failure.
+        if kind not in ("violation", "oom") and entry.attempt < retries:
             not_before = time.monotonic() + backoff * (2 ** entry.attempt)
             queue.append((entry.spec, entry.attempt + 1, not_before,
                           failures))
@@ -360,6 +418,7 @@ def _run_pool(specs, *, jobs, timeout, retries, backoff, cell_fn,
                     CellOutcome(entry.spec, "quarantined",
                                 entry.attempt + 1, error=error,
                                 violation=violation,
+                                oom=(kind == "oom"),
                                 failures=list(failures)), on_outcome)
 
     try:
@@ -375,7 +434,7 @@ def _run_pool(specs, *, jobs, timeout, retries, backoff, cell_fn,
                 parent, child = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(cell_fn, spec.to_dict(), child),
+                    args=(cell_fn, spec.to_dict(), child, memory_budget_mb),
                     name=f"repro-cell-{spec.key}", daemon=True)
                 if on_start is not None:
                     on_start(spec, attempt)
@@ -412,6 +471,8 @@ def _run_pool(specs, *, jobs, timeout, retries, backoff, cell_fn,
                     elif kind == "violation":
                         attempt_failed(entry, payload["error"], "violation",
                                        violation=payload["report"])
+                    elif kind == "oom":
+                        attempt_failed(entry, payload, "oom")
                     elif kind == "error":
                         attempt_failed(entry, payload, "error")
                     else:

@@ -41,6 +41,11 @@ from ..experiments.figures import (
 from ..experiments.harness import SweepRunner
 from ..experiments.runner import DEFAULT_SCALE
 from ..experiments.workers import CellSpec
+from ..traffic.driver import (
+    DEFAULT_TRAFFIC_SIZES,
+    run_traffic_figure,
+)
+from ..traffic.report import traffic_rows
 from ..workloads import registered_tasks
 
 __all__ = ["FigureDriver", "FIGURES", "SweepRequest"]
@@ -63,6 +68,8 @@ FIGURES: Dict[str, FigureDriver] = {
     "fig3": FigureDriver(run_fig3, fig3_rows, False, (16, 32, 64, 128)),
     "fig4": FigureDriver(run_fig4, fig4_rows, True, (16, 32, 64, 128)),
     "fig5": FigureDriver(run_fig5, fig5_rows, True, (32, 64, 128)),
+    "traffic": FigureDriver(run_traffic_figure, traffic_rows, True,
+                            DEFAULT_TRAFFIC_SIZES),
 }
 
 

@@ -160,6 +160,15 @@ def utilization_summary(telemetry, top: int = 30) -> str:
         for name, entry in probes:
             lines.append(f"    {name}: avg {entry['average']:.3f} "
                          f"peak {entry['peak']:.3f}")
+    hists = [(name, entry) for name, entry in doc["metrics"].items()
+             if entry["kind"] == "histogram" and entry["count"]]
+    if hists:
+        lines.append("  latency distributions (exact streaming quantiles):")
+        for name, entry in hists:
+            lines.append(
+                f"    {name}: n={entry['count']:.0f} "
+                f"p50 {entry['p50']:.6f} p95 {entry['p95']:.6f} "
+                f"p99 {entry['p99']:.6f} max {entry['max']:.6f}")
     return "\n".join(lines)
 
 

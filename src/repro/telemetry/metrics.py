@@ -22,12 +22,16 @@ Metric kinds
 
 from __future__ import annotations
 
+import random
 from bisect import bisect_right
 from fnmatch import fnmatchcase
+from math import ceil
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from zlib import crc32
 
 __all__ = ["Metric", "CounterMetric", "GaugeMetric", "HistogramMetric",
-           "SeriesMetric", "BoundMetric", "MetricRegistry"]
+           "SeriesMetric", "BoundMetric", "MetricRegistry",
+           "DEFAULT_BOUNDS", "DEFAULT_RESERVOIR"]
 
 
 class Metric:
@@ -92,23 +96,48 @@ DEFAULT_BOUNDS: Tuple[float, ...] = (
 )
 
 
+#: Default reservoir capacity: exact order statistics up to this many
+#: observations, uniform (Vitter Algorithm R) sampling beyond.
+DEFAULT_RESERVOIR = 4096
+
+
 class HistogramMetric(Metric):
-    """Distribution of observations with fixed bucket bounds."""
+    """Distribution of observations with exact streaming quantiles.
+
+    Bucket counters (fixed ``bounds``) are kept for shape export, but
+    quantiles come from a value reservoir: *exact* order statistics
+    while ``count <= reservoir`` observations, and a uniform random
+    sample (Vitter's Algorithm R) past that. The reservoir's RNG is
+    seeded from the metric name, so two same-seed runs produce
+    byte-identical p50/p95/p99 regardless of registration order or
+    platform. Pass ``reservoir=0`` for the legacy bucket-upper-bound
+    approximation only.
+    """
 
     kind = "histogram"
 
     def __init__(self, name: str,
-                 bounds: Sequence[float] = DEFAULT_BOUNDS):
+                 bounds: Sequence[float] = DEFAULT_BOUNDS,
+                 reservoir: int = DEFAULT_RESERVOIR):
         super().__init__(name)
         self.bounds = tuple(sorted(bounds))
         if not self.bounds:
             raise ValueError(f"{name}: histogram needs at least one bound")
+        if reservoir < 0:
+            raise ValueError(f"{name}: reservoir must be >= 0")
         # One bucket per bound plus the overflow bucket.
         self.buckets = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.reservoir = reservoir
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        # Deterministic per-name seed: replacement decisions are a pure
+        # function of (metric name, observation order).
+        self._rng = random.Random(crc32(name.encode("utf-8"))) \
+            if reservoir else None
 
     def observe(self, value: float) -> None:
         self.buckets[bisect_right(self.bounds, value)] += 1
@@ -116,17 +145,41 @@ class HistogramMetric(Metric):
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if self.reservoir:
+            if len(self._samples) < self.reservoir:
+                self._samples.append(value)
+                self._sorted = None
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.reservoir:
+                    self._samples[slot] = value
+                    self._sorted = None
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def exact(self) -> bool:
+        """True while the reservoir still holds every observation."""
+        return bool(self.reservoir) and self.count <= self.reservoir
+
     def quantile(self, q: float) -> float:
-        """Approximate quantile: upper bound of the bucket holding rank q."""
+        """Streaming quantile: nearest-rank over the value reservoir.
+
+        Exact while :attr:`exact` holds; an unbiased sample estimate
+        beyond. With ``reservoir=0`` falls back to the bucket
+        upper-bound approximation.
+        """
         if not 0 <= q <= 1:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if self._samples:
+            if self._sorted is None:
+                self._sorted = sorted(self._samples)
+            rank = ceil(q * len(self._sorted)) - 1
+            return self._sorted[max(0, min(rank, len(self._sorted) - 1))]
         rank = q * self.count
         running = 0
         for i, n in enumerate(self.buckets):
@@ -145,6 +198,7 @@ class HistogramMetric(Metric):
             "max": self.max if self.max is not None else 0.0,
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -251,9 +305,10 @@ class MetricRegistry:
         return self._get_or_create(name, GaugeMetric, initial)
 
     def histogram(self, name: str,
-                  bounds: Sequence[float] = DEFAULT_BOUNDS
+                  bounds: Sequence[float] = DEFAULT_BOUNDS,
+                  reservoir: int = DEFAULT_RESERVOIR
                   ) -> HistogramMetric:
-        return self._get_or_create(name, HistogramMetric, bounds)
+        return self._get_or_create(name, HistogramMetric, bounds, reservoir)
 
     def series(self, name: str, initial: float = 0.0) -> SeriesMetric:
         return self._get_or_create(name, SeriesMetric, self._clock, initial)

@@ -20,7 +20,16 @@ from .costs import (
     SORT_RUN_BASE_NS,
     sort_cpu_ns,
 )
-from .traces import TraceRecord, trace_totals, worker_trace
+from .traces import (
+    TraceRecord,
+    fold_totals,
+    interleave_records,
+    session_totals,
+    session_trace,
+    stream_worker_trace,
+    trace_totals,
+    worker_trace,
+)
 
 __all__ = [
     "SELECT_FILTER_NS", "AGGREGATE_SUM_NS", "GROUPBY_HASH_NS",
@@ -29,5 +38,6 @@ __all__ = [
     "JOIN_BUILD_PROBE_NS", "DMINE_COUNT_NS", "DMINE_MERGE_NS",
     "DCUBE_HASH_NS", "DCUBE_MERGE_NS", "MVIEW_SCAN_NS", "MVIEW_APPLY_NS",
     "MVIEW_MERGE_NS", "sort_cpu_ns",
-    "TraceRecord", "worker_trace", "trace_totals",
+    "TraceRecord", "worker_trace", "stream_worker_trace", "trace_totals",
+    "fold_totals", "interleave_records", "session_trace", "session_totals",
 ]

@@ -1,0 +1,47 @@
+"""Open-loop multi-tenant traffic: arrivals, admission control, shedding.
+
+The paper measures one closed-loop query at a time; this package asks
+the production question instead — what happens when an open-loop
+session stream exceeds what the hardware can serve — and answers it
+with bounded admission queues, configurable shedding policies, a
+saturation detector with a degraded shed mode, and exact
+(p50/p95/p99) sojourn-time reporting per offered load. See
+``docs/TRAFFIC.md``.
+"""
+
+from .admission import (
+    POLICIES,
+    AdmissionQueue,
+    QueuedSession,
+    SaturationDetector,
+    TokenBucket,
+)
+from .arrivals import SessionSpec, TrafficMix, poisson_sessions
+from .driver import (
+    DEFAULT_LOADS,
+    DEFAULT_TRAFFIC_SIZES,
+    run_traffic_cell,
+    run_traffic_figure,
+    traffic_cell,
+)
+from .engine import (
+    DEFAULT_TRAFFIC_SCALE,
+    AccountingError,
+    TenantStats,
+    TrafficConfig,
+    TrafficResult,
+    run_traffic,
+    service_slots,
+)
+from .report import TrafficFigure, traffic_rows
+
+__all__ = [
+    "POLICIES", "AdmissionQueue", "QueuedSession", "SaturationDetector",
+    "TokenBucket",
+    "SessionSpec", "TrafficMix", "poisson_sessions",
+    "DEFAULT_LOADS", "DEFAULT_TRAFFIC_SIZES", "traffic_cell",
+    "run_traffic_cell", "run_traffic_figure",
+    "DEFAULT_TRAFFIC_SCALE", "AccountingError", "TenantStats",
+    "TrafficConfig", "TrafficResult", "run_traffic", "service_slots",
+    "TrafficFigure", "traffic_rows",
+]

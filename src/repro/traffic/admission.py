@@ -1,0 +1,247 @@
+"""Admission control: bounded queues, shedding policies, saturation.
+
+An open-loop stream cannot be flow-controlled at the source, so the
+only way to stay stable past saturation is to refuse work at the door.
+This module holds the policy layer the traffic engine consults:
+
+``reject-newest``
+    Classic bounded FIFO: an arrival finding the queue at its limit is
+    shed on the spot. Queue depth (and therefore queueing delay for
+    admitted sessions) is hard-bounded.
+
+``deadline-drop``
+    Same bounded FIFO, but sessions carry deadlines. Arrivals first
+    evict queued sessions that can no longer finish in time (their
+    remaining slack is below their service demand) — freeing space for
+    work that can still succeed — and are shed only if the queue is
+    full of still-viable sessions.
+
+``fair-share``
+    Per-tenant token buckets sized to an equal share of admission
+    capacity. While the queue is under its contention watermark every
+    arrival is admitted token-free (work-conserving: hot tenants may
+    use idle capacity). Once contended, admission costs a token — so a
+    tenant sending under its fair share always has tokens and is only
+    ever shed when the queue is hard-full, bounding the collateral
+    damage a heavy co-tenant can inflict.
+
+:class:`SaturationDetector` watches queue occupancy and flips the
+engine into a degraded *shed mode* — a much shorter effective queue —
+when the queue has been pinned near its limit for a sustained window,
+instead of letting sojourn times grow without bound. It flips back
+once occupancy stays low again. Both transitions are counted and the
+saturated fraction of the run is reported.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .arrivals import SessionSpec
+
+__all__ = ["POLICIES", "QueuedSession", "AdmissionQueue",
+           "SaturationDetector", "TokenBucket"]
+
+#: Shedding policies the admission queue understands.
+POLICIES = ("reject-newest", "deadline-drop", "fair-share")
+
+
+class QueuedSession:
+    """A session waiting for a service slot, plus its sizing."""
+
+    __slots__ = ("spec", "demand", "deadline")
+
+    def __init__(self, spec: SessionSpec, demand: float,
+                 deadline: Optional[float]):
+        self.spec = spec
+        self.demand = demand
+        self.deadline = deadline
+
+
+class TokenBucket:
+    """Deterministic token bucket: refill is a pure function of time."""
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("token bucket needs positive rate and burst")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_take(self, now: float, amount: float = 1.0) -> bool:
+        self._refill(now)
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+
+class SaturationDetector:
+    """Flips shed mode on sustained high queue occupancy.
+
+    Hysteresis in both level and time: occupancy must sit at or above
+    ``high_frac`` of capacity for ``trip_after`` continuous seconds to
+    enter shed mode, and at or below ``low_frac`` for ``clear_after``
+    continuous seconds to leave it. Driven event-wise from queue
+    transitions — no polling process, so it adds no events of its own.
+    """
+
+    def __init__(self, capacity: int, high_frac: float = 0.9,
+                 low_frac: float = 0.25, trip_after: float = 1.0,
+                 clear_after: float = 2.0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.high_level = max(1, int(capacity * high_frac))
+        self.low_level = max(0, int(capacity * low_frac))
+        self.trip_after = trip_after
+        self.clear_after = clear_after
+        self.saturated = False
+        self.flips_in = 0
+        self.flips_out = 0
+        self.saturated_seconds = 0.0
+        self._above_since: Optional[float] = None
+        self._below_since: Optional[float] = None
+        self._entered_at: Optional[float] = None
+
+    def observe(self, now: float, depth: int) -> bool:
+        """Feed one queue-depth transition; returns current mode."""
+        if not self.saturated:
+            if depth >= self.high_level:
+                if self._above_since is None:
+                    self._above_since = now
+                elif now - self._above_since >= self.trip_after:
+                    self.saturated = True
+                    self.flips_in += 1
+                    self._entered_at = now
+                    self._below_since = None
+            else:
+                self._above_since = None
+        else:
+            if depth <= self.low_level:
+                if self._below_since is None:
+                    self._below_since = now
+                elif now - self._below_since >= self.clear_after:
+                    self.saturated = False
+                    self.flips_out += 1
+                    if self._entered_at is not None:
+                        self.saturated_seconds += now - self._entered_at
+                    self._entered_at = None
+                    self._above_since = None
+            else:
+                self._below_since = None
+        return self.saturated
+
+    def finish(self, now: float) -> None:
+        """Close an open saturated interval at end of run."""
+        if self.saturated and self._entered_at is not None:
+            self.saturated_seconds += now - self._entered_at
+            self._entered_at = now
+
+
+class AdmissionQueue:
+    """Bounded admission queue with a pluggable shedding policy.
+
+    Decisions are pure functions of (queue contents, policy state,
+    time) — no randomness — so the whole admission layer is
+    deterministic given a deterministic arrival stream.
+    """
+
+    def __init__(self, capacity: int, policy: str = "reject-newest", *,
+                 tenants: int = 1, fair_rate: float = 1.0,
+                 fair_burst_seconds: float = 2.0,
+                 degraded_fraction: float = 0.25,
+                 detector: Optional[SaturationDetector] = None):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; "
+                             f"pick one of {POLICIES}")
+        self.capacity = capacity
+        self.policy = policy
+        self.degraded_capacity = max(1, int(capacity * degraded_fraction))
+        self.detector = detector or SaturationDetector(capacity)
+        self._queue: Deque[QueuedSession] = deque()
+        self.peak_depth = 0
+        # fair-share state: one bucket per tenant, equal shares.
+        self._buckets: Dict[int, TokenBucket] = {}
+        if policy == "fair-share":
+            per_tenant = max(fair_rate / max(1, tenants), 1e-9)
+            burst = max(1.0, per_tenant * fair_burst_seconds)
+            self._buckets = {tenant: TokenBucket(per_tenant, burst)
+                             for tenant in range(tenants)}
+        # The contention watermark above which fair-share charges tokens.
+        self._contended_level = max(1, capacity // 2)
+
+    # ---------------------------------------------------------- queries
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def effective_capacity(self) -> int:
+        """Current admission limit: tightens while saturated."""
+        return (self.degraded_capacity if self.detector.saturated
+                else self.capacity)
+
+    # ----------------------------------------------------------- offers
+    def _note_depth(self, now: float) -> None:
+        if self.depth > self.peak_depth:
+            self.peak_depth = self.depth
+        self.detector.observe(now, self.depth)
+
+    def offer(self, item: QueuedSession, now: float
+              ) -> List[QueuedSession]:
+        """Try to admit ``item``; returns the sessions rejected by this
+        arrival (possibly including ``item`` itself).
+
+        Rejected sessions carry no verdict — the engine classifies a
+        rejected item as *shed* (refused at the door) unless it was a
+        queued session evicted past its deadline, which the deadline
+        policy signals by only ever evicting expired entries.
+        """
+        rejected: List[QueuedSession] = []
+        limit = self.effective_capacity
+        if self.policy == "deadline-drop":
+            rejected.extend(self._evict_expired(now))
+        if self.policy == "fair-share" and self.depth >= self._contended_level:
+            bucket = self._buckets.get(item.spec.tenant)
+            if bucket is not None and not bucket.try_take(now):
+                rejected.append(item)
+                self._note_depth(now)
+                return rejected
+        if self.depth >= limit:
+            rejected.append(item)
+        else:
+            self._queue.append(item)
+        self._note_depth(now)
+        return rejected
+
+    def _evict_expired(self, now: float) -> List[QueuedSession]:
+        """Drop queued sessions that can no longer meet their deadline."""
+        expired = [entry for entry in self._queue
+                   if entry.deadline is not None
+                   and now + entry.demand > entry.deadline]
+        if expired:
+            doomed = set(map(id, expired))
+            self._queue = deque(entry for entry in self._queue
+                                if id(entry) not in doomed)
+        return expired
+
+    def pop(self, now: float) -> Optional[QueuedSession]:
+        """Dequeue the next session to serve (FIFO)."""
+        if not self._queue:
+            return None
+        item = self._queue.popleft()
+        self._note_depth(now)
+        return item
+
+    def finish(self, now: float) -> None:
+        self.detector.finish(now)

@@ -1,0 +1,100 @@
+"""Open-loop session arrivals: seeded Poisson streams with Zipf mixes.
+
+The paper evaluates one closed-loop query at a time; a service facing
+many users sees an *open-loop* stream instead — sessions arrive on
+their own schedule whether or not the machine has capacity, which is
+exactly what makes overload possible. This module generates that
+stream:
+
+* interarrival times are exponential (a Poisson process) with a seeded
+  :class:`random.Random`, so every run of the same seed produces the
+  identical arrival sequence;
+* each session is attributed to a *tenant* and carries one of the
+  eight DSS *tasks*, both drawn from Zipf distributions built on
+  :func:`repro.workloads.skew.zipf_weights` — a few hot tenants and a
+  few hot query shapes dominate, as in real decision-support traffic.
+
+The stream is a generator: sessions materialize one at a time as the
+engine consumes them, never as a list, which keeps memory flat at any
+session count.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import Iterator, List, Sequence, Tuple
+
+from ..workloads.skew import zipf_weights
+
+__all__ = ["SessionSpec", "TrafficMix", "poisson_sessions"]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One open-loop session: who arrives when, asking for what."""
+
+    index: int
+    arrival: float        # absolute arrival time, seconds
+    tenant: int
+    task: str
+
+
+def _cumulative(weights: Sequence[float]) -> List[float]:
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return list(accumulate(w / total for w in weights))
+
+
+class TrafficMix:
+    """Zipf tenant/task mix: who sends traffic, and what they ask for.
+
+    Tenant ``0`` is the hottest (rank 1 of the Zipf distribution);
+    ``tenant_theta=0`` makes tenants uniform. The same applies to the
+    task list under ``task_theta``, with tasks weighted in the order
+    given.
+    """
+
+    def __init__(self, tenants: int, tasks: Sequence[str],
+                 tenant_theta: float = 1.0, task_theta: float = 0.5):
+        if tenants < 1:
+            raise ValueError(f"need at least one tenant, got {tenants}")
+        if not tasks:
+            raise ValueError("need at least one task")
+        self.tenants = tenants
+        self.tasks = tuple(tasks)
+        self.tenant_theta = tenant_theta
+        self.task_theta = task_theta
+        self.tenant_weights = zipf_weights(tenants, tenant_theta)
+        self.task_weights = zipf_weights(len(self.tasks), task_theta)
+        self._tenant_cdf = _cumulative(self.tenant_weights)
+        self._task_cdf = _cumulative(self.task_weights)
+
+    def sample(self, rng: random.Random) -> Tuple[int, str]:
+        """Draw (tenant, task) via inverse-CDF — two rng.random() calls."""
+        tenant = bisect_right(self._tenant_cdf, rng.random())
+        task = self.tasks[bisect_right(self._task_cdf, rng.random())]
+        return min(tenant, self.tenants - 1), task
+
+
+def poisson_sessions(rate: float, sessions: int, mix: TrafficMix,
+                     seed: int = 0) -> Iterator[SessionSpec]:
+    """Lazily yield ``sessions`` Poisson arrivals at ``rate`` per second.
+
+    The generator owns its seeded RNG, so the arrival process is a pure
+    function of ``(rate, sessions, mix, seed)`` — the determinism the
+    byte-identical traffic artifacts rest on.
+    """
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    if sessions < 0:
+        raise ValueError(f"negative session count: {sessions}")
+    rng = random.Random(seed)
+    now = 0.0
+    for index in range(sessions):
+        now += rng.expovariate(rate)
+        tenant, task = mix.sample(rng)
+        yield SessionSpec(index=index, arrival=now, tenant=tenant, task=task)

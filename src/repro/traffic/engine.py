@@ -1,0 +1,419 @@
+"""The open-loop traffic engine: sessions, slots, shed modes, accounting.
+
+Each architecture serves an open-loop session stream through a small
+queueing model layered on the repo's existing machinery:
+
+* **service demand** per task comes from the closed-form bottleneck
+  model (:func:`repro.analysis.bottleneck.analyze`) — the same
+  per-phase resource maxima the figures validate against the
+  simulator, so a traffic cell costs microseconds per session instead
+  of a full machine simulation;
+* **byte profile** per task comes from the *streamed* session trace
+  (:func:`repro.tracegen.session_totals`): each task's demand profile
+  is folded once from its lazy per-worker record stream, O(1) memory
+  regardless of dataset scale or session count;
+* **concurrency slots** bound how many sessions a machine serves at
+  once — on Active Disks by disklet scratch memory (DiskOS layout),
+  on the cluster and SMP by a fraction of node/CPU count;
+* **admission** is delegated to :mod:`repro.traffic.admission`:
+  bounded queue, shedding policy, saturation detector with a degraded
+  shed mode.
+
+The whole engine is a deterministic discrete-event simulation on
+:class:`repro.sim.Simulator` — the only randomness is the seeded
+arrival stream — so a (config, seed) pair fully determines every
+counter, every histogram, and therefore every byte of the report.
+
+Every session ends in exactly one of three states:
+
+``completed``        served, and met its deadline (if any)
+``shed``             refused at the door by the admission policy
+``deadline-missed``  evicted from the queue past its deadline, popped
+                     too late to start, or finished after its deadline
+
+The engine raises :class:`AccountingError` if the three buckets do not
+sum to the arrival count — broken conservation is a bug, never a
+statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.bottleneck import analyze
+from ..arch.config import ArchConfig
+from ..diskos.memory import DiskMemory
+from ..experiments.runner import ARCHITECTURES, config_for
+from ..sim import Simulator
+from ..telemetry.metrics import MetricRegistry
+from ..tracegen import session_totals
+from ..workloads import build_program, registered_tasks
+from .admission import POLICIES, AdmissionQueue, QueuedSession
+from .arrivals import TrafficMix, poisson_sessions
+
+__all__ = ["TrafficConfig", "TrafficResult", "TenantStats",
+           "AccountingError", "run_traffic", "service_slots",
+           "DEFAULT_TRAFFIC_SCALE"]
+
+#: Traffic cells default to a small dataset scale: service demands stay
+#: sub-second, so thousands of sessions resolve in seconds of sim time.
+DEFAULT_TRAFFIC_SCALE = 1.0 / 128.0
+
+#: Upper bound on concurrency slots for any architecture.
+MAX_SLOTS = 16
+
+
+class AccountingError(RuntimeError):
+    """A session was lost or double-counted — conservation broke."""
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """One traffic cell: arrival stream x admission policy x machine."""
+
+    arch: str = "active"
+    num_disks: int = 16
+    sessions: int = 1000
+    seed: int = 0
+    load: float = 1.0                 # offered load as a multiple of capacity
+    policy: str = "reject-newest"
+    queue_capacity: int = 64
+    tenants: int = 4
+    tenant_theta: float = 1.0
+    task_theta: float = 0.5
+    tasks: Tuple[str, ...] = ()       # () = all registered tasks
+    scale: float = DEFAULT_TRAFFIC_SCALE
+    deadline_factor: float = 8.0      # deadline = arrival + factor * demand
+    slots: int = 0                    # 0 = derive from the architecture
+
+    def __post_init__(self):
+        if self.arch not in ARCHITECTURES:
+            raise ValueError(f"unknown architecture {self.arch!r}; "
+                             f"pick one of {ARCHITECTURES}")
+        if self.sessions < 0:
+            raise ValueError(f"negative session count: {self.sessions}")
+        if self.load <= 0:
+            raise ValueError(f"offered load must be positive: {self.load}")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; "
+                             f"pick one of {POLICIES}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue capacity must be >= 1: {self.queue_capacity}")
+        if self.tenants < 1:
+            raise ValueError(f"need at least one tenant: {self.tenants}")
+        if not 0 < self.scale <= 1:
+            raise ValueError(f"scale must be in (0, 1]: {self.scale}")
+        if self.deadline_factor < 0:
+            raise ValueError(
+                f"negative deadline factor: {self.deadline_factor}")
+        if self.slots < 0:
+            raise ValueError(f"negative slot count: {self.slots}")
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        unknown = set(self.tasks) - set(registered_tasks())
+        if unknown:
+            raise ValueError(f"unknown tasks: {', '.join(sorted(unknown))}")
+
+    @property
+    def resolved_tasks(self) -> Tuple[str, ...]:
+        return self.tasks if self.tasks else registered_tasks()
+
+    # ------------------------------------------------------- round-trip
+    def to_dict(self) -> Dict:
+        """JSON encoding; omits default fields so hashes stay stable."""
+        out: Dict = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            default = spec_field.default
+            if spec_field.name == "tasks":
+                if value:
+                    out["tasks"] = list(value)
+                continue
+            if value != default:
+                out[spec_field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TrafficConfig":
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown traffic fields: {', '.join(sorted(unknown))}")
+        kwargs = dict(data)
+        if kwargs.get("tasks") is not None:
+            kwargs["tasks"] = tuple(kwargs["tasks"])
+        return cls(**kwargs)
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant session accounting."""
+
+    tenant: int
+    arrivals: int = 0
+    completed: int = 0
+    shed: int = 0
+    deadline_missed: int = 0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.arrivals if self.arrivals else 0.0
+
+
+@dataclass
+class TrafficResult:
+    """Everything one traffic cell measured, deterministically."""
+
+    config: TrafficConfig
+    slots: int
+    demands: Dict[str, float]         # task -> service seconds
+    profiles: Dict[str, Dict]         # task -> streamed byte totals
+    capacity_rate: float              # sessions/s the machine can absorb
+    offered_rate: float               # sessions/s actually offered
+    makespan: float
+    arrivals: int
+    admitted: int
+    completed: int
+    shed: int
+    deadline_missed: int
+    sojourn: Dict[str, float]         # p50/p95/p99/mean/max, seconds
+    wait: Dict[str, float]            # queueing delay percentiles
+    peak_queue_depth: int
+    mean_queue_depth: float
+    saturation_flips: int
+    saturated_fraction: float
+    tenants: List[TenantStats] = field(default_factory=list)
+
+    @property
+    def accounted(self) -> bool:
+        return (self.completed + self.shed + self.deadline_missed
+                == self.arrivals)
+
+    def to_extras(self) -> Dict[str, float]:
+        """Flatten to the ``RunResult.extras`` float namespace."""
+        out: Dict[str, float] = {
+            "traffic.load": self.config.load,
+            "traffic.seed": float(self.config.seed),
+            "traffic.sessions": float(self.config.sessions),
+            "traffic.slots": float(self.slots),
+            "traffic.queue_capacity": float(self.config.queue_capacity),
+            "traffic.capacity_rate": self.capacity_rate,
+            "traffic.offered_rate": self.offered_rate,
+            "traffic.arrivals": float(self.arrivals),
+            "traffic.admitted": float(self.admitted),
+            "traffic.completed": float(self.completed),
+            "traffic.shed": float(self.shed),
+            "traffic.deadline_missed": float(self.deadline_missed),
+            "traffic.peak_queue_depth": float(self.peak_queue_depth),
+            "traffic.mean_queue_depth": self.mean_queue_depth,
+            "traffic.saturation_flips": float(self.saturation_flips),
+            "traffic.saturated_fraction": self.saturated_fraction,
+        }
+        for key, value in self.sojourn.items():
+            out[f"traffic.sojourn.{key}"] = value
+        for key, value in self.wait.items():
+            out[f"traffic.wait.{key}"] = value
+        for stats in self.tenants:
+            prefix = f"traffic.tenant.{stats.tenant}"
+            out[f"{prefix}.arrivals"] = float(stats.arrivals)
+            out[f"{prefix}.completed"] = float(stats.completed)
+            out[f"{prefix}.shed"] = float(stats.shed)
+            out[f"{prefix}.deadline_missed"] = float(stats.deadline_missed)
+        return out
+
+
+def service_slots(config: ArchConfig, programs: Dict) -> int:
+    """Concurrency limit: how many sessions ``config`` serves at once.
+
+    Active Disks are bounded by disklet scratch memory — each
+    concurrent query needs its largest phase's scratch resident on
+    every disk (DiskOS layout, Section 2.1). The cluster and SMP are
+    bounded by a quarter of their node/CPU count: the paper sizes both
+    to saturate on a single query, so multiprogramming beyond a small
+    factor only adds context pressure. All architectures clamp to
+    [1, 16] slots.
+    """
+    if config.arch == "active":
+        scratch = DiskMemory(config.disk_memory_bytes,
+                             config.direct_disk_to_disk).scratch_bytes()
+        per_query = max((phase.scratch_bytes
+                         for program in programs.values()
+                         for phase in program.phases), default=0)
+        if per_query <= 0:
+            return 8
+        return max(1, min(MAX_SLOTS, scratch // per_query))
+    if config.arch == "cluster":
+        return max(1, min(MAX_SLOTS, config.num_nodes // 4))
+    return max(1, min(MAX_SLOTS, config.num_cpus // 4))
+
+
+def run_traffic(tconfig: TrafficConfig,
+                registry: Optional[MetricRegistry] = None) -> TrafficResult:
+    """Run one traffic cell to completion and account every session."""
+    machine = config_for(tconfig.arch, tconfig.num_disks)
+    tasks = tconfig.resolved_tasks
+    mix = TrafficMix(tconfig.tenants, tasks,
+                     tenant_theta=tconfig.tenant_theta,
+                     task_theta=tconfig.task_theta)
+
+    # Per-task sizing, computed once: closed-form service demand plus
+    # the byte profile folded from the lazily streamed session trace.
+    programs = {task: build_program(task, machine, tconfig.scale)
+                for task in tasks}
+    demands = {task: analyze(machine, task, tconfig.scale).seconds
+               for task in tasks}
+    profiles = {task: session_totals(programs[task], tconfig.num_disks)
+                for task in tasks}
+
+    slots = tconfig.slots or service_slots(machine, programs)
+    mean_demand = sum(weight * demands[task]
+                      for task, weight in zip(tasks, mix.task_weights))
+    capacity_rate = slots / mean_demand
+    offered_rate = tconfig.load * capacity_rate
+
+    sim = Simulator()
+    registry = registry if registry is not None \
+        else MetricRegistry(clock=lambda: sim.now)
+    counters = {name: registry.counter(f"traffic.{name}")
+                for name in ("arrivals", "admitted", "completed", "shed",
+                             "deadline_missed")}
+    depth_series = registry.series("traffic.queue.depth")
+    busy_series = registry.series("traffic.slots.busy")
+    sojourn_hist = registry.histogram("traffic.sojourn")
+    wait_hist = registry.histogram("traffic.wait")
+
+    queue = AdmissionQueue(tconfig.queue_capacity, tconfig.policy,
+                           tenants=tconfig.tenants,
+                           fair_rate=capacity_rate)
+    tenants = [TenantStats(tenant) for tenant in range(tconfig.tenants)]
+
+    state = {"free": slots, "resolved": 0, "admitted": 0,
+             "arrived": 0, "arrivals_done": tconfig.sessions == 0}
+    wake = [sim.event()]
+
+    def kick() -> None:
+        if not wake[0].triggered:
+            wake[0].succeed()
+
+    def resolve(entry: QueuedSession, verdict: str) -> None:
+        state["resolved"] += 1
+        counters[verdict].add()
+        stats = tenants[entry.spec.tenant]
+        if verdict == "completed":
+            stats.completed += 1
+        elif verdict == "shed":
+            stats.shed += 1
+        else:
+            stats.deadline_missed += 1
+        kick()
+
+    def serve(entry: QueuedSession):
+        busy_series.add(1)
+        yield sim.timeout(entry.demand)
+        busy_series.add(-1)
+        state["free"] += 1
+        sojourn_hist.observe(sim.now - entry.spec.arrival)
+        late = entry.deadline is not None and sim.now > entry.deadline
+        resolve(entry, "deadline_missed" if late else "completed")
+
+    def arrivals_proc():
+        stream = poisson_sessions(offered_rate, tconfig.sessions, mix,
+                                  tconfig.seed)
+        for spec in stream:
+            delay = spec.arrival - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            state["arrived"] += 1
+            counters["arrivals"].add()
+            tenants[spec.tenant].arrivals += 1
+            demand = demands[spec.task]
+            deadline = (spec.arrival + tconfig.deadline_factor * demand
+                        if tconfig.deadline_factor else None)
+            entry = QueuedSession(spec, demand, deadline)
+            rejected = queue.offer(entry, sim.now)
+            depth_series.set(queue.depth)
+            admitted = True
+            for victim in rejected:
+                if victim is entry:
+                    admitted = False
+                    resolve(entry, "shed")
+                else:
+                    # Only the deadline policy evicts queued entries,
+                    # and only ones already past their deadline.
+                    resolve(victim, "deadline_missed")
+            if admitted:
+                state["admitted"] += 1
+                counters["admitted"].add()
+                kick()
+        state["arrivals_done"] = True
+        kick()
+
+    def dispatcher():
+        while state["resolved"] < tconfig.sessions \
+                or not state["arrivals_done"]:
+            while state["free"] > 0 and queue.depth > 0:
+                entry = queue.pop(sim.now)
+                depth_series.set(queue.depth)
+                if entry.deadline is not None \
+                        and sim.now + entry.demand > entry.deadline:
+                    resolve(entry, "deadline_missed")
+                    continue
+                wait_hist.observe(sim.now - entry.spec.arrival)
+                state["free"] -= 1
+                sim.process(serve(entry), name=f"serve-{entry.spec.index}")
+            if state["resolved"] >= tconfig.sessions \
+                    and state["arrivals_done"]:
+                break
+            yield wake[0]
+            wake[0] = sim.event()
+
+    sim.process(arrivals_proc(), name="arrivals")
+    sim.process(dispatcher(), name="dispatcher")
+    sim.run()
+    queue.finish(sim.now)
+
+    if state["resolved"] != state["arrived"] \
+            or state["arrived"] != tconfig.sessions:
+        raise AccountingError(
+            f"session conservation broke: {tconfig.sessions} generated, "
+            f"{state['arrived']} arrived, {state['resolved']} resolved")
+
+    makespan = sim.now
+    detector = queue.detector
+    saturated_fraction = (detector.saturated_seconds / makespan
+                          if makespan > 0 else 0.0)
+
+    def percentiles(hist) -> Dict[str, float]:
+        return {"p50": hist.quantile(0.5), "p95": hist.quantile(0.95),
+                "p99": hist.quantile(0.99), "mean": hist.mean,
+                "max": hist.max if hist.max is not None else 0.0}
+
+    result = TrafficResult(
+        config=tconfig,
+        slots=slots,
+        demands=demands,
+        profiles=profiles,
+        capacity_rate=capacity_rate,
+        offered_rate=offered_rate,
+        makespan=makespan,
+        arrivals=int(counters["arrivals"].value),
+        admitted=int(counters["admitted"].value),
+        completed=int(counters["completed"].value),
+        shed=int(counters["shed"].value),
+        deadline_missed=int(counters["deadline_missed"].value),
+        sojourn=percentiles(sojourn_hist),
+        wait=percentiles(wait_hist),
+        peak_queue_depth=queue.peak_depth,
+        mean_queue_depth=depth_series.average(),
+        saturation_flips=detector.flips_in,
+        saturated_fraction=saturated_fraction,
+        tenants=tenants,
+    )
+    if not result.accounted:
+        raise AccountingError(
+            f"verdicts do not sum to arrivals: {result.completed} "
+            f"completed + {result.shed} shed + {result.deadline_missed} "
+            f"deadline-missed != {result.arrivals}")
+    return result

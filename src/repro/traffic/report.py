@@ -1,0 +1,90 @@
+"""Saturation-curve reporting: latency vs offered load, per machine.
+
+The report is assembled from ``RunResult.extras`` alone (the flat
+float namespace the journal round-trips exactly), so a curve rebuilt
+from a resumed journal is byte-identical to one rendered inline. No
+wall-clock, host name, or RSS figure ever enters an artifact — those
+belong to smoke checks, not reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["TrafficFigure", "traffic_rows"]
+
+_COLUMNS = ("arch", "disks", "load", "policy", "offered/s", "capacity/s",
+            "slots", "arrivals", "completed", "shed", "deadline_missed",
+            "p50", "p95", "p99", "peak_queue", "saturated")
+
+
+class TrafficFigure:
+    """Latency-vs-offered-load curves for one or more architectures.
+
+    ``points`` maps ``(arch, num_disks, load, policy)`` to the extras
+    dict of the corresponding traffic cell.
+    """
+
+    def __init__(self, points: Dict[tuple, Dict[str, float]]):
+        self.points = dict(sorted(points.items()))
+
+    # ------------------------------------------------------------ rows
+    def rows(self) -> List[Sequence]:
+        rows: List[Sequence] = [list(_COLUMNS)]
+        for (arch, disks, load, policy), extras in self.points.items():
+            rows.append([
+                arch, disks, f"{load:g}", policy,
+                f"{extras['traffic.offered_rate']:.3f}",
+                f"{extras['traffic.capacity_rate']:.3f}",
+                int(extras["traffic.slots"]),
+                int(extras["traffic.arrivals"]),
+                int(extras["traffic.completed"]),
+                int(extras["traffic.shed"]),
+                int(extras["traffic.deadline_missed"]),
+                f"{extras['traffic.sojourn.p50']:.4f}",
+                f"{extras['traffic.sojourn.p95']:.4f}",
+                f"{extras['traffic.sojourn.p99']:.4f}",
+                int(extras["traffic.peak_queue_depth"]),
+                f"{extras['traffic.saturated_fraction']:.3f}",
+            ])
+        return rows
+
+    # ---------------------------------------------------------- render
+    def render(self) -> str:
+        rows = self.rows()
+        header, body = rows[0], rows[1:]
+        cells = [[str(value) for value in row] for row in [header] + body]
+        widths = [max(len(row[i]) for row in cells)
+                  for i in range(len(header))]
+        lines = ["traffic: sojourn-time percentiles vs offered load "
+                 "(exact p50/p95/p99, seconds)"]
+        for index, row in enumerate(cells):
+            lines.append("  " + "  ".join(
+                value.rjust(width) for value, width in zip(row, widths)))
+            if index == 0:
+                lines.append("  " + "  ".join("-" * w for w in widths))
+        shed_total = sum(int(e["traffic.shed"]) for e in self.points.values())
+        missed = sum(int(e["traffic.deadline_missed"])
+                     for e in self.points.values())
+        done = sum(int(e["traffic.completed"]) for e in self.points.values())
+        lines.append(f"  every session accounted once: {done} completed, "
+                     f"{shed_total} shed, {missed} deadline-missed")
+        return "\n".join(lines)
+
+
+def traffic_rows(figure: TrafficFigure) -> List[Dict]:
+    """CSV rows for :class:`TrafficFigure` (service exporter contract).
+
+    One dict per grid point — the grid key columns first, then every
+    ``traffic.*`` extra in sorted order, so the CSV carries the full
+    flat metric namespace (tenant breakdowns included), not just the
+    rendered table's columns.
+    """
+    rows: List[Dict] = []
+    for (arch, disks, load, policy), extras in figure.points.items():
+        row: Dict = {"figure": "traffic", "arch": arch, "disks": disks,
+                     "load": load, "policy": policy}
+        for key in sorted(extras):
+            row[key] = extras[key]
+        rows.append(row)
+    return rows

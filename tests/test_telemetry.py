@@ -59,9 +59,49 @@ class TestMetricRegistry:
         assert snap["count"] == 4.0
         assert snap["mean"] == pytest.approx(1.5125)
         assert snap["min"] == 0.05 and snap["max"] == 5.0
-        assert hist.quantile(0.5) == pytest.approx(1.0)
+        # Exact streaming quantiles: nearest-rank over the reservoir,
+        # not a bucket upper bound.
+        assert hist.quantile(0.5) == pytest.approx(0.5)
+        assert snap["p99"] == pytest.approx(5.0)
         with pytest.raises(ValueError):
             hist.quantile(1.5)
+
+    def test_histogram_bucket_fallback_without_reservoir(self):
+        reg = MetricRegistry()
+        hist = reg.histogram("lat0", bounds=(0.1, 1.0, 10.0), reservoir=0)
+        for v in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(v)
+        # reservoir=0 keeps the historical bucket-upper-bound estimate.
+        assert hist.quantile(0.5) == pytest.approx(1.0)
+        assert not hist.exact
+
+    def test_histogram_exact_until_reservoir_overflows(self):
+        import random
+        hist = MetricRegistry().histogram("h", reservoir=64)
+        values = [random.Random(3).random() for _ in range(50)]
+        for v in values:
+            hist.observe(v)
+        assert hist.exact
+        ordered = sorted(values)
+        assert hist.quantile(0.5) == ordered[24]   # ceil(0.5*50)-1
+        assert hist.quantile(0.95) == ordered[47]  # ceil(0.95*50)-1
+        assert hist.quantile(0.0) == ordered[0]
+        assert hist.quantile(1.0) == ordered[-1]
+
+    def test_histogram_reservoir_quantiles_are_deterministic(self):
+        import random
+
+        def fill(registry):
+            hist = registry.histogram("sojourn", reservoir=128)
+            source = random.Random(11)
+            for _ in range(5000):
+                hist.observe(source.expovariate(1.0))
+            return hist
+
+        first, second = fill(MetricRegistry()), fill(MetricRegistry())
+        assert not first.exact
+        for q in (0.5, 0.95, 0.99):
+            assert first.quantile(q) == second.quantile(q)
 
     def test_series_time_weighted_average_and_peak(self):
         clock = FakeClock()

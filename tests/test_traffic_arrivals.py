@@ -1,0 +1,83 @@
+"""Tests for the open-loop arrival process and session mixes."""
+
+import random
+
+import pytest
+
+from repro.traffic.arrivals import SessionSpec, TrafficMix, poisson_sessions
+from repro.workloads import registered_tasks
+from repro.workloads.skew import zipf_weights
+
+TASKS = registered_tasks()
+
+
+class TestTrafficMix:
+    def test_weights_come_from_zipf(self):
+        mix = TrafficMix(4, TASKS, tenant_theta=1.0, task_theta=0.5)
+        assert mix.tenant_weights == pytest.approx(zipf_weights(4, 1.0))
+        assert mix.task_weights == pytest.approx(
+            zipf_weights(len(TASKS), 0.5))
+
+    def test_zipf_tail_mass_is_sane(self):
+        """Skewed mixes concentrate on tenant 0 but never starve the tail."""
+        weights = TrafficMix(8, TASKS, tenant_theta=1.0).tenant_weights
+        assert weights[0] > 2 * weights[-1]   # head dominates
+        assert weights[-1] > 0                # tail never starves
+        assert sum(weights) == pytest.approx(1.0)
+        uniform = TrafficMix(8, TASKS, tenant_theta=0.0).tenant_weights
+        assert all(w == pytest.approx(1 / 8) for w in uniform)
+
+    def test_sample_respects_supports(self):
+        mix = TrafficMix(3, TASKS[:2])
+        rng = random.Random(5)
+        for _ in range(500):
+            tenant, task = mix.sample(rng)
+            assert 0 <= tenant < 3
+            assert task in TASKS[:2]
+
+    def test_skewed_sampling_tracks_weights(self):
+        mix = TrafficMix(4, TASKS, tenant_theta=1.0)
+        rng = random.Random(9)
+        counts = [0, 0, 0, 0]
+        n = 20000
+        for _ in range(n):
+            tenant, _ = mix.sample(rng)
+            counts[tenant] += 1
+        for tenant, weight in enumerate(mix.tenant_weights):
+            assert counts[tenant] / n == pytest.approx(weight, abs=0.02)
+
+
+class TestPoissonSessions:
+    def mix(self):
+        return TrafficMix(2, TASKS)
+
+    def test_seed_determinism(self):
+        first = list(poisson_sessions(5.0, 200, self.mix(), seed=42))
+        second = list(poisson_sessions(5.0, 200, self.mix(), seed=42))
+        assert first == second
+        different = list(poisson_sessions(5.0, 200, self.mix(), seed=43))
+        assert first != different
+
+    def test_interarrival_mean_within_tolerance(self):
+        rate = 8.0
+        sessions = list(poisson_sessions(rate, 5000, self.mix(), seed=1))
+        gaps = [b.arrival - a.arrival
+                for a, b in zip(sessions, sessions[1:])]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1.0 / rate, rel=0.05)
+        assert all(gap >= 0 for gap in gaps)
+
+    def test_arrivals_are_monotone_and_indexed(self):
+        sessions = list(poisson_sessions(3.0, 100, self.mix(), seed=7))
+        assert [s.index for s in sessions] == list(range(100))
+        arrivals = [s.arrival for s in sessions]
+        assert arrivals == sorted(arrivals)
+        assert all(isinstance(s, SessionSpec) for s in sessions)
+
+    def test_stream_is_lazy(self):
+        stream = poisson_sessions(1.0, 10**9, self.mix(), seed=0)
+        first = next(stream)
+        assert first.index == 0   # a billion sessions, no list
+
+    def test_zero_sessions(self):
+        assert list(poisson_sessions(1.0, 0, self.mix())) == []
