@@ -4,7 +4,8 @@
 checked / audited), selected by :meth:`Simulator.run` when an armed
 :class:`~repro.invariants.InvariantAuditor` is installed. It mirrors the
 fast loop exactly — same pop order, same pooled-event recycling, same
-stall detection — and adds only *observations*:
+stall detection, same heap-vs-batched backend split — and adds only
+*observations*:
 
 * clock monotonicity — a queued event timestamped before the current
   clock is a kernel-protocol breach (raised as a structured
@@ -16,7 +17,8 @@ stall detection — and adds only *observations*:
   watched servers, stream buffers and memory ledgers.
 
 Because the audits never schedule events, spawn processes, or touch the
-clock, an armed run is bit-identical to a disarmed one.
+clock, an armed run is bit-identical to a disarmed one — on either
+queue backend.
 """
 
 from __future__ import annotations
@@ -31,8 +33,11 @@ __all__ = ["run_audited"]
 
 def run_audited(sim: Simulator, until: Optional[float]) -> None:
     """Run the kernel loop with invariant audits armed."""
+    if sim._queue.batched:
+        _run_audited_batched(sim, until)
+        return
     hub = sim.invariants
-    queue = sim._queue
+    queue = sim._queue.entries
     pop = heappop
     relay_pool = sim._relay_pool
     timeout_pool = sim._timeout_pool
@@ -127,4 +132,99 @@ def run_audited(sim: Simulator, until: Optional[float]) -> None:
                     hub.sweep()
             sim._now = until
     finally:
+        sim.event_count += count
+
+
+def _run_audited_batched(sim: Simulator, until: Optional[float]) -> None:
+    """Audited twin of ``Simulator._run_batched`` for batched backends.
+
+    The clock-monotonicity check is hoisted per batch (every entry in a
+    batch shares one timestamp); the event-heap sanity check and the
+    periodic sweep stay per event, so an armed batched run observes
+    exactly what an armed per-event run would.
+    """
+    hub = sim.invariants
+    queue = sim._queue
+    pop_batch = queue.pop_batch
+    push = queue.push
+    relay_pool = sim._relay_pool
+    timeout_pool = sim._timeout_pool
+    timeout_cls = Timeout
+    period = hub.period
+    stride = 0
+    count = 0
+    peek = queue.peek_time
+    try:
+        while True:
+            if until is None:
+                batch = pop_batch()
+                if batch is None:
+                    break
+                when = batch[0][0]
+            else:
+                when = peek()
+                if when > until:
+                    break
+                batch = pop_batch()
+            if when < sim._now:
+                for entry in batch[1:]:
+                    push(entry)
+                hub.fail(
+                    "sim.kernel", "clock-monotonicity",
+                    expected=f"next event at or after t={sim._now!r}",
+                    observed=f"event scheduled at t={when!r}",
+                    detail="event scheduled in the past")
+            sim._now = when
+            sim._batch = batch
+            n = len(batch)
+            count += n
+            i = 0
+            try:
+                while i < n:
+                    event = batch[i][2]
+                    i += 1
+                    callbacks = event.callbacks
+                    if callbacks is None:
+                        # Never dispatched: the per-event twin fails
+                        # before counting it.
+                        count -= 1
+                        hub.fail(
+                            "sim.kernel", "event-heap",
+                            expected="every queued event is unprocessed",
+                            observed=f"already-processed {event!r} queued "
+                                     f"for t={when!r}",
+                            detail="an event was scheduled twice, or a "
+                                   "pooled event escaped its recycler")
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event.value
+                    if event._pooled:
+                        # Recycle exactly like the fast loop.
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        if event.__class__ is timeout_cls:
+                            timeout_pool.append(event)
+                        else:
+                            event.value = None
+                            event._ok = True
+                            event._defused = False
+                            relay_pool.append(event)
+                    stride += 1
+                    if stride >= period:
+                        stride = 0
+                        hub.sweep()
+            except BaseException:
+                count -= n - i
+                for entry in batch[i:]:
+                    push(entry)
+                raise
+        if until is None:
+            if sim._alive:
+                raise SimStalled(sorted(p.name for p in sim._alive))
+        else:
+            sim._now = until
+    finally:
+        sim._batch = None
         sim.event_count += count

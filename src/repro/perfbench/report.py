@@ -36,6 +36,7 @@ __all__ = [
     "write_suite",
     "compare_suites",
     "render_comparison",
+    "worst_events_ratio",
 ]
 
 
@@ -48,7 +49,7 @@ class BenchResult:
     events: int = 0
     repeats: int = 1
     peak_rss_kb: int = 0
-    extras: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, object] = field(default_factory=dict)
 
     @property
     def events_per_sec(self) -> float:
@@ -72,7 +73,7 @@ def peak_rss_kb() -> int:
 
 
 def measure(name: str, fn: Callable[[], int], repeats: int = 3,
-            **extras: float) -> BenchResult:
+            **extras) -> BenchResult:
     """Run ``fn`` ``repeats`` times; keep the best wall clock.
 
     ``fn`` returns the number of kernel events it processed (0 when the
@@ -93,12 +94,14 @@ def measure(name: str, fn: Callable[[], int], repeats: int = 3,
 
 def suite_document(suite: str, results: List[BenchResult],
                    quick: bool) -> dict:
+    from ..sim.queues import resolve_backend
     return {
         "suite": suite,
         "quick": quick,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
+        "queue_backend": resolve_backend(),
         "benchmarks": [result.to_json() for result in results],
     }
 
@@ -134,21 +137,43 @@ def compare_suites(baseline: dict, current: dict) -> List[dict]:
         if old.get("events_per_sec") and bench.get("events_per_sec"):
             row["events_per_sec_ratio"] = (
                 bench["events_per_sec"] / old["events_per_sec"])
+        if old.get("peak_rss_kb") and bench.get("peak_rss_kb"):
+            row["peak_rss_delta_kb"] = (
+                bench["peak_rss_kb"] - old["peak_rss_kb"])
         rows.append(row)
     return rows
 
 
-def render_comparison(rows: List[dict]) -> str:
+def worst_events_ratio(rows: List[dict]) -> Optional[float]:
+    """The smallest throughput ratio across compared benchmarks.
+
+    Prefers ``events_per_sec_ratio`` (what ``--fail-below`` gates on);
+    benchmarks without an events metric fall back to ``wall_speedup``.
+    Returns ``None`` when nothing comparable overlapped.
+    """
+    ratios = [row.get("events_per_sec_ratio") or row.get("wall_speedup")
+              for row in rows]
+    ratios = [ratio for ratio in ratios if ratio]
+    return min(ratios) if ratios else None
+
+
+def render_comparison(rows: List[dict],
+                      queue_backend: Optional[str] = None) -> str:
     if not rows:
         return "no overlapping benchmarks to compare"
-    lines = [f"{'benchmark':<24} {'base wall':>10} {'now wall':>10} "
-             f"{'speedup':>8} {'ev/s ratio':>10}"]
+    lines = []
+    if queue_backend:
+        lines.append(f"queue backend: {queue_backend}")
+    lines.append(f"{'benchmark':<24} {'base wall':>10} {'now wall':>10} "
+                 f"{'speedup':>8} {'ev/s ratio':>10} {'rss delta':>10}")
     for row in rows:
+        delta = row.get("peak_rss_delta_kb")
+        rss = f"{delta:>+9,}K" if delta is not None else " " * 10
         lines.append(
             f"{row['name']:<24} {row['baseline_wall_s']:>10.4f} "
             f"{row['current_wall_s']:>10.4f} "
             f"{row.get('wall_speedup', 0.0):>7.2f}x "
-            f"{row.get('events_per_sec_ratio', 0.0):>9.2f}x")
+            f"{row.get('events_per_sec_ratio', 0.0):>9.2f}x {rss}")
     return "\n".join(lines)
 
 

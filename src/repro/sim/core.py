@@ -27,10 +27,11 @@ Example
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from heapq import heappop, heappush
+from heapq import heappop
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .queues import make_queue
 
 __all__ = [
     "Simulator",
@@ -130,7 +131,7 @@ class Event:
         self._triggered = True
         self.value = value
         sim = self.sim
-        heappush(sim._queue, [sim._now, next(sim._counter), self])
+        sim._push([sim._now, next(sim._counter), self])
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -146,7 +147,7 @@ class Event:
         self._ok = False
         self.value = exception
         sim = self.sim
-        heappush(sim._queue, [sim._now, next(sim._counter), self])
+        sim._push([sim._now, next(sim._counter), self])
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -168,7 +169,7 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay.
 
-    The constructor inlines :class:`Event`'s field setup and the heap
+    The constructor inlines :class:`Event`'s field setup and the queue
     push: timeouts are the kernel's single most-allocated object, and
     every sleep in every device model goes through here (or through the
     pooled :meth:`Simulator.pause` variant).
@@ -187,7 +188,7 @@ class Timeout(Event):
         self._defused = False
         self._pooled = False
         self.delay = delay
-        heappush(sim._queue, [sim._now + delay, next(sim._counter), self])
+        sim._push([sim._now + delay, next(sim._counter), self])
 
 
 ProcessGenerator = Generator[Event, Any, Any]
@@ -236,7 +237,7 @@ class Process(Event):
         # bootstrap event occupied, so event ordering is unchanged.
         relay = sim._relay()
         relay.callbacks.append(self._resume_cb)
-        heappush(sim._queue, [sim._now, next(sim._counter), relay])
+        sim._push([sim._now, next(sim._counter), relay])
 
     @property
     def is_alive(self) -> bool:
@@ -320,7 +321,7 @@ class Process(Event):
             relay.value = target.value
             relay._ok = target._ok
             relay.callbacks.append(self._resume_cb)
-            heappush(sim._queue, [sim._now, next(sim._counter), relay])
+            sim._push([sim._now, next(sim._counter), relay])
             self._target = relay
         else:
             callbacks.append(self._resume_cb)
@@ -403,13 +404,21 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """The event loop: owns the clock and the pending-event heap.
+    """The event loop: owns the clock and the pending-event queue.
 
     Parameters
     ----------
     trace:
         Optional callable ``trace(time, event)`` invoked for every event
         processed — useful for debugging simulations.
+    queue:
+        Event-queue backend: a registered name (``"heap"``,
+        ``"calendar"``), an :class:`~repro.sim.queues.EventQueue`
+        instance, or ``None`` to resolve via
+        :func:`~repro.sim.queues.queue_override` /
+        ``REPRO_SIM_QUEUE`` / the default. Every backend pops in the
+        same global ``(time, seq)`` order, so results are byte-identical
+        across backends; only the run loop's shape differs.
 
     Attributes
     ----------
@@ -426,17 +435,21 @@ class Simulator:
     """
 
     def __init__(self, trace: Optional[Callable[[float, Event], None]] = None,
-                 debug: bool = False):
+                 debug: bool = False, queue=None):
         from ..faults import NULL_FAULTS
         from ..invariants import NULL_INVARIANTS
         from ..telemetry import NULL_TELEMETRY
         self._now = 0.0
-        # Heap entries are [time, seq, event] *lists*, not tuples: on
+        # Queue entries are [time, seq, event] *lists*, not tuples: on
         # CPython 3.11 the list freelist makes the push/pop cycle
         # measurably faster (timeout_storm best-of-5: 0.211s vs 0.219s
         # with tuples, ~3.5%); comparison cost is identical since the
         # seq tie-break means element two is never reached.
-        self._queue: List = []
+        self._queue = make_queue(queue)
+        # Bound push cached once: every schedule site pays one attribute
+        # load instead of re-resolving the backend per event. For the
+        # heap backend this is the C-level partial(heappush, entries).
+        self._push = self._queue.push
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
         self._trace = trace
@@ -451,11 +464,20 @@ class Simulator:
         # pause() timeouts, returned here by the fast run loop.
         self._relay_pool: List[Event] = []
         self._timeout_pool: List[Timeout] = []
+        # In-flight dispatch batch (batched backends only): same-tick
+        # entries already popped but not yet all dispatched, which
+        # peek() must still report as pending.
+        self._batch: Optional[List[Any]] = None
 
     @property
     def debug(self) -> bool:
         """True when :meth:`run` uses the checked per-event loop."""
         return self._debug or self._trace is not None
+
+    @property
+    def queue_backend(self) -> str:
+        """Registry name of the event-queue backend in use."""
+        return self._queue.name
 
     # -- lifecycle hooks ---------------------------------------------------
     def add_hook(self, hook: Any) -> None:
@@ -526,8 +548,7 @@ class Simulator:
             timeout._defused = False
             timeout._pooled = True
             timeout.delay = delay
-        heappush(self._queue, [self._now + delay, next(self._counter),
-                               timeout])
+        self._push([self._now + delay, next(self._counter), timeout])
         return timeout
 
     def _relay(self) -> Event:
@@ -567,11 +588,23 @@ class Simulator:
 
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, [self._now + delay, next(self._counter), event])
+        self._push([self._now + delay, next(self._counter), event])
 
     def peek(self) -> float:
-        """Time of the next scheduled event (``inf`` if none)."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event (``inf`` if none).
+
+        During batched dispatch the same-tick batch has already been
+        popped from the queue; its undispatched remainder is still
+        *scheduled* as far as callers are concerned (the per-event loop
+        would have it in the heap), so peek() reports the current tick
+        while any batch entry is still pending. The last entry's event
+        keeps its callbacks list until it is dispatched, which makes
+        that check free for the hot loop.
+        """
+        batch = self._batch
+        if batch is not None and batch[-1][2].callbacks is not None:
+            return self._now
+        return self._queue.peek_time()
 
     def step(self) -> None:
         """Process exactly one event (the checked, debuggable path).
@@ -588,7 +621,7 @@ class Simulator:
             raise SimulationError(
                 "step() on an empty event queue: nothing is scheduled "
                 "(use run(), or schedule an event first)")
-        when, _, event = heappop(self._queue)
+        when, _, event = self._queue.pop()
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -602,7 +635,7 @@ class Simulator:
             raise event.value
 
     def _run_fast(self, until: Optional[float]) -> None:
-        """The hot loop: heappop / advance clock / fire callbacks.
+        """The hot loop: pop / advance clock / fire callbacks.
 
         The past-time assertion matches :meth:`step` (same exception
         class and message for the same defect in either loop); the
@@ -610,8 +643,16 @@ class Simulator:
         :meth:`run` call instead of being re-tested per event. Pooled
         relay/pause events are recycled here the moment their callbacks
         have run.
+
+        Batched backends (``queue.batched``) dispatch through
+        :meth:`_run_batched`, which drains one timestamp per inner
+        loop; the heap reference backend keeps the historical per-event
+        loop below, operating directly on its raw entry list.
         """
-        queue = self._queue
+        if self._queue.batched:
+            self._run_batched(until)
+            return
+        queue = self._queue.entries
         pop = heappop
         relay_pool = self._relay_pool
         timeout_pool = self._timeout_pool
@@ -677,6 +718,124 @@ class Simulator:
                             relay_pool.append(event)
                 self._now = until
         finally:
+            self.event_count += count
+
+    def _run_batched(self, until: Optional[float]) -> None:
+        """Same-tick batch dispatch for batched queue backends.
+
+        Each ``pop_batch`` returns every pending event at the earliest
+        timestamp, in seq (schedule) order, so the clock advance and
+        the past-time check are paid once per *timestamp* instead of
+        once per event. Events scheduled at the current tick during
+        dispatch get higher seqs and form the next batch at the same
+        time — exactly the order the per-event heap loop produces. If
+        dispatch raises mid-batch, the unprocessed remainder is pushed
+        back (original entries, original seqs) so the queue is left in
+        the same state the per-event loop would leave it.
+        """
+        queue = self._queue
+        pop_batch = queue.pop_batch
+        push = queue.push
+        relay_pool = self._relay_pool
+        timeout_pool = self._timeout_pool
+        timeout_cls = Timeout
+        now = self._now
+        count = 0
+        try:
+            if until is None:
+                while True:
+                    batch = pop_batch()
+                    if batch is None:
+                        break
+                    when = batch[0][0]
+                    if when < now:
+                        for entry in batch[1:]:
+                            push(entry)
+                        raise SimulationError("event scheduled in the past")
+                    self._now = now = when
+                    self._batch = batch
+                    n = len(batch)
+                    count += n
+                    i = 0
+                    try:
+                        while i < n:
+                            event = batch[i][2]
+                            i += 1
+                            callbacks = event.callbacks
+                            event.callbacks = None
+                            for callback in callbacks:
+                                callback(event)
+                            if not event._ok and not event._defused:
+                                raise event.value
+                            if event._pooled:
+                                # Recycle fully reset (see _run_fast).
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                                if event.__class__ is timeout_cls:
+                                    timeout_pool.append(event)
+                                else:
+                                    event.value = None
+                                    event._ok = True
+                                    event._defused = False
+                                    relay_pool.append(event)
+                    except BaseException:
+                        # The reference loop counts only dispatched
+                        # events; unwind the pre-count for the
+                        # requeued remainder.
+                        count -= n - i
+                        for entry in batch[i:]:
+                            push(entry)
+                        raise
+                if self._alive:
+                    raise SimStalled(sorted(p.name for p in self._alive))
+            else:
+                peek = queue.peek_time
+                while True:
+                    when = peek()
+                    if when > until:
+                        break
+                    batch = pop_batch()
+                    if when < now:
+                        for entry in batch[1:]:
+                            push(entry)
+                        raise SimulationError("event scheduled in the past")
+                    self._now = now = when
+                    self._batch = batch
+                    n = len(batch)
+                    count += n
+                    i = 0
+                    try:
+                        while i < n:
+                            event = batch[i][2]
+                            i += 1
+                            callbacks = event.callbacks
+                            event.callbacks = None
+                            for callback in callbacks:
+                                callback(event)
+                            if not event._ok and not event._defused:
+                                raise event.value
+                            if event._pooled:
+                                # Recycle fully reset (see _run_fast).
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                                if event.__class__ is timeout_cls:
+                                    timeout_pool.append(event)
+                                else:
+                                    event.value = None
+                                    event._ok = True
+                                    event._defused = False
+                                    relay_pool.append(event)
+                    except BaseException:
+                        # The reference loop counts only dispatched
+                        # events; unwind the pre-count for the
+                        # requeued remainder.
+                        count -= n - i
+                        for entry in batch[i:]:
+                            push(entry)
+                        raise
+                self._now = until
+        finally:
+            self._batch = None
             self.event_count += count
 
     def run(self, until: Optional[float] = None) -> None:

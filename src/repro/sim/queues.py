@@ -1,0 +1,566 @@
+"""Pluggable event-queue backends for the simulation kernel.
+
+The kernel schedules ``[time, seq, event]`` entries (lists, see
+``sim/core.py`` for why) and pops them in global ``(time, seq)`` order.
+That contract — FIFO among same-tick events via the monotonically
+increasing ``seq`` — is what makes every figure byte-reproducible, so a
+queue backend is correct only if its pop order is *identical* to a
+binary heap's, entry for entry.
+
+Two backends ship:
+
+``heap`` (:class:`HeapEventQueue`)
+    The reference: a plain ``heapq`` list. ``push`` is a
+    ``functools.partial(heappush, entries)`` so the hot path stays a
+    single C call, and the fast run loop bypasses the interface
+    entirely by iterating ``queue.entries`` — the backend exists to
+    define correct behaviour and to A/B against, not to be fast.
+
+``calendar`` (:class:`CalendarQueue`, the default)
+    A self-resizing calendar queue (Brown, CACM 1988) specialised for
+    discrete-event simulation:
+
+    * a **same-tick FIFO** list for entries scheduled at exactly the
+      current dispatch time — the dominant push in this kernel
+      (``succeed``/relay/bootstrap all schedule "now") — where push is
+      an append and :meth:`pop_batch` is a double-buffer list swap;
+    * a **bucket array** over one "day" ``[day_start, day_end)`` of
+      width-``w`` buckets; future pushes append to their bucket, and a
+      bucket is heapified only when the dispatch cursor reaches it
+      (the *active* bucket, a mini-heap that absorbs late arrivals);
+    * a sorted **far heap** for entries beyond the current day, drained
+      bucket-ward at each day roll (the roll jumps ``day_start``
+      straight to the earliest far entry, so empty days are never
+      scanned);
+    * **online tuning**: bucket width adapts to the observed mean
+      inter-batch gap at day rolls, and a skewed burst that overfills
+      the bucket array triggers an immediate respread sized from the
+      pending entries' actual span.
+
+    Entries that arrive *behind* the dispatch cursor land in a ``past``
+    mini-heap and pop first, so the kernel raises the same
+    "event scheduled in the past" error the heap backend would.
+
+Backend selection (see :func:`resolve_backend`): an explicit
+``Simulator(queue=...)`` argument wins, then a :func:`queue_override`
+context, then the ``REPRO_SIM_QUEUE`` environment variable, then
+:data:`DEFAULT_BACKEND`.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left, insort
+from heapq import heappop, heappush
+from functools import partial
+from typing import Any, List, Optional
+
+__all__ = [
+    "EventQueue",
+    "HeapEventQueue",
+    "CalendarQueue",
+    "QUEUE_BACKENDS",
+    "DEFAULT_BACKEND",
+    "resolve_backend",
+    "make_queue",
+    "queue_override",
+]
+
+_INF = float("inf")
+
+
+class EventQueue:
+    """The narrow interface every kernel queue backend implements.
+
+    Entries are ``[time, seq, event]`` lists built by the caller; the
+    queue never inspects ``event``. ``batched`` tells the run loop
+    whether to use the per-event reference loop (``False``: the loop
+    pops ``queue.entries`` directly) or the batch-dispatch loop
+    (``True``: :meth:`pop_batch` drains one timestamp at a time).
+    """
+
+    __slots__ = ()
+
+    #: Registry name of the backend.
+    name = "abstract"
+    #: Whether the fast run loop should use the batch-dispatch path.
+    batched = False
+
+    def push(self, entry: List[Any]) -> None:
+        """Insert one ``[time, seq, event]`` entry."""
+        raise NotImplementedError
+
+    def pop(self):
+        """Remove and return the globally smallest ``(time, seq)`` entry."""
+        raise NotImplementedError
+
+    def pop_batch(self):
+        """Drain every entry at the earliest pending timestamp.
+
+        Returns a list of entries in ``seq`` order, or ``None`` when the
+        queue is empty. The returned list is owned by the queue and only
+        valid until the next ``pop_batch`` call.
+        """
+        raise NotImplementedError
+
+    def peek_time(self) -> float:
+        """Timestamp of the next entry (``inf`` when empty)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class HeapEventQueue(EventQueue):
+    """The reference backend: a plain binary heap of entries."""
+
+    __slots__ = ("entries", "push", "_out")
+
+    name = "heap"
+    batched = False
+
+    def __init__(self):
+        self.entries: List[List[Any]] = []
+        # A partial over the C heappush keeps the per-event push a
+        # single C-level call — byte-for-byte the cost the kernel paid
+        # before backends existed.
+        self.push = partial(heappush, self.entries)
+        self._out: List[List[Any]] = []
+
+    def pop(self):
+        return heappop(self.entries)
+
+    def pop_batch(self):
+        entries = self.entries
+        if not entries:
+            return None
+        out = self._out
+        out.clear()
+        out.append(heappop(entries))
+        when = out[0][0]
+        while entries and entries[0][0] == when:
+            out.append(heappop(entries))
+        return out
+
+    def peek_time(self) -> float:
+        entries = self.entries
+        return entries[0][0] if entries else _INF
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+#: Calendar geometry bounds: the bucket array never shrinks below
+#: ``_MIN_BUCKETS`` (pointless churn) or grows past ``_MAX_BUCKETS``
+#: (beyond which per-day memory dominates any scan savings).
+_MIN_BUCKETS = 32
+_MAX_BUCKETS = 1 << 16
+#: Floor for the adaptive bucket width, guarding degenerate spans.
+_MIN_WIDTH = 1e-12
+#: Consumed-prefix length at which the active run is compacted.
+_COMPACT = 1 << 14
+
+
+class CalendarQueue(EventQueue):
+    """Self-resizing calendar queue with a same-tick FIFO fast path.
+
+    The *active* structure — the bucket currently being drained — is a
+    sorted run with a cursor, not a heap: :meth:`_settle` sorts the
+    bucket once (C timsort; near-linear for the common equal-time
+    barrier batches, which arrive already in seq order), pops advance
+    the cursor, and :meth:`pop_batch` extracts a whole equal-time run
+    as one slice. Late arrivals behind the cursor's bucket are
+    ``insort``-ed into the unconsumed tail, keeping exact order.
+    """
+
+    __slots__ = ("_fifo", "_out", "_buckets", "_nbuckets", "_cur",
+                 "_cur_time", "_active", "_apos", "_far", "_far_max",
+                 "_past", "_in_buckets", "_day_start", "_day_end",
+                 "_width", "_inv_width", "_gap_sum", "_gap_count",
+                 "resizes")
+
+    name = "calendar"
+    batched = True
+
+    def __init__(self, nbuckets: int = _MIN_BUCKETS,
+                 width: float = 1e-5):
+        if nbuckets < 1:
+            raise ValueError(f"nbuckets must be >= 1, got {nbuckets}")
+        if width <= 0:
+            raise ValueError(f"bucket width must be > 0, got {width}")
+        #: entries at exactly ``_cur_time`` in seq (arrival) order
+        self._fifo: List[List[Any]] = []
+        #: recycled batch buffer (double-buffered with ``_fifo``)
+        self._out: List[List[Any]] = []
+        self._nbuckets = nbuckets
+        self._buckets: List[List[List[Any]]] = [[] for _ in range(nbuckets)]
+        #: index of the bucket currently being drained (-1: before 0)
+        self._cur = -1
+        #: time of the most recently dispatched batch
+        self._cur_time = 0.0
+        #: sorted run: the reached bucket plus insort-ed late arrivals
+        self._active: List[List[Any]] = []
+        #: cursor into ``_active``; entries before it are consumed
+        self._apos = 0
+        #: heap of entries at/after ``_day_end``
+        self._far: List[List[Any]] = []
+        #: largest timestamp ever pushed far (span estimate for sizing)
+        self._far_max = -_INF
+        #: heap of entries behind ``_cur_time`` (kernel error path)
+        self._past: List[List[Any]] = []
+        self._in_buckets = 0
+        self._day_start = 0.0
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._day_end = nbuckets * width
+        # Online width estimate: mean gap between consecutive dispatch
+        # timestamps, decayed at each day roll so it tracks the current
+        # regime rather than the run's full history.
+        self._gap_sum = 0.0
+        self._gap_count = 0
+        #: observability: how often the geometry was re-tuned
+        self.resizes = 0
+
+    # ------------------------------------------------------------ push
+    def push(self, entry: List[Any]) -> None:
+        t = entry[0]
+        if t == self._cur_time:
+            self._fifo.append(entry)
+            return
+        delta = t - self._day_start
+        if delta < 0.0:
+            if t < self._cur_time:
+                heappush(self._past, entry)
+            else:
+                # Between the cursor and the day window (possible right
+                # after a roll jumped day_start forward): insort into
+                # the active run's unconsumed tail keeps exact order.
+                insort(self._active, entry, self._apos)
+            return
+        if t >= self._day_end:
+            heappush(self._far, entry)
+            if t > self._far_max:
+                self._far_max = t
+            return
+        idx = int(delta * self._inv_width)
+        if idx >= self._nbuckets:  # float rounding at the day edge
+            idx = self._nbuckets - 1
+        if idx <= self._cur:
+            # At or behind the dispatch cursor: the active run keeps
+            # exact order for in-bucket late arrivals.
+            insort(self._active, entry, self._apos)
+            return
+        self._buckets[idx].append(entry)
+        count = self._in_buckets + 1
+        self._in_buckets = count
+        if count > (self._nbuckets << 2) and self._nbuckets < _MAX_BUCKETS:
+            self._respread()
+
+    # ------------------------------------------------------------- pop
+    def pop(self):
+        """Single-entry pop (checked/audited per-event paths)."""
+        past = self._past
+        if past:
+            return heappop(past)
+        fifo = self._fifo
+        if fifo:
+            return fifo.pop(0)
+        pos = self._apos
+        if pos >= len(self._active):
+            if not (self._in_buckets or self._far):
+                raise IndexError("pop from an empty event queue")
+            self._settle()
+            pos = self._apos
+        entry = self._active[pos]
+        self._apos = pos + 1
+        when = entry[0]
+        if when > self._cur_time:
+            self._gap_sum += when - self._cur_time
+            self._gap_count += 1
+            self._cur_time = when
+        return entry
+
+    def pop_batch(self):
+        past = self._past
+        if past:
+            out = self._out
+            out.clear()
+            when = past[0][0]
+            while past and past[0][0] == when:
+                out.append(heappop(past))
+            return out
+        fifo = self._fifo
+        if fifo:
+            # Double-buffer swap: the whole same-tick batch is returned
+            # as-is and the drained buffer becomes the next FIFO.
+            out = self._out
+            out.clear()
+            self._fifo = out
+            self._out = fifo
+            return fifo
+        active = self._active
+        pos = self._apos
+        if pos >= len(active):
+            if not (self._in_buckets or self._far):
+                return None
+            self._settle()
+            active = self._active
+            pos = self._apos
+        when = active[pos][0]
+        end = pos + 1
+        n = len(active)
+        while end < n and active[end][0] == when:
+            end += 1
+        batch = active[pos:end]
+        if end >= n and end > _COMPACT:
+            active.clear()
+            self._apos = 0
+        else:
+            self._apos = end
+        self._gap_sum += when - self._cur_time
+        self._gap_count += 1
+        self._cur_time = when
+        return batch
+
+    # ------------------------------------------------------------ scan
+    def _settle(self) -> None:
+        """Advance the cursor to the next non-empty bucket (rolling days)."""
+        cur = self._cur + 1
+        while True:
+            if self._in_buckets:
+                buckets = self._buckets
+                n = self._nbuckets
+                while cur < n:
+                    bucket = buckets[cur]
+                    if bucket:
+                        buckets[cur] = []
+                        self._in_buckets -= len(bucket)
+                        # Timsort: near-linear for the dominant cases
+                        # (one barrier timestamp, or seq-ordered runs).
+                        bucket.sort()
+                        self._active = bucket
+                        self._apos = 0
+                        self._cur = cur
+                        return
+                    cur += 1
+            if not self._far:
+                raise IndexError("settle on an empty event queue")
+            self._roll_day()
+            cur = 0
+
+    def _roll_day(self) -> None:
+        """Start a new day at the earliest far entry and refill buckets."""
+        far = self._far
+        self._adapt()
+        # Jumping straight to the earliest far entry skips any number of
+        # empty days without scanning their buckets.
+        day_start = far[0][0]
+        n = self._nbuckets
+        end = day_start + n * self._width
+        self._day_start = day_start
+        self._day_end = end
+        self._cur = -1
+        buckets = self._buckets
+        inv = self._inv_width
+        limit = n - 1
+        # A sorted list satisfies the heap invariant, so the far heap
+        # can be sorted in place (C timsort), the day's prefix split
+        # off, and the remainder kept as the far heap verbatim.
+        far.sort()
+        cut = bisect_left(far, end, key=_entry_time)
+        if cut == 0:
+            # Degenerate window (day_start at +inf or width underflow):
+            # force progress with the earliest entry alone.
+            cut = 1
+        for entry in far[:cut] if cut > 1 else (far[0],):
+            idx = int((entry[0] - day_start) * inv)
+            buckets[idx if idx < limit else limit].append(entry)
+        del far[:cut]
+        self._in_buckets += cut
+        if not far:
+            self._far_max = -_INF
+
+    def _adapt(self) -> None:
+        """Between days (buckets empty): re-tune width and bucket count."""
+        far = self._far
+        pending = len(far)
+        resized = False
+        n = self._nbuckets
+        if pending > (n << 1) and n < _MAX_BUCKETS:
+            while pending > (n << 1) and n < _MAX_BUCKETS:
+                n <<= 1
+        elif n > _MIN_BUCKETS and pending < (n >> 2):
+            while n > _MIN_BUCKETS and pending < (n >> 2):
+                n >>= 1
+        if n != self._nbuckets:
+            self._nbuckets = n
+            self._buckets = [[] for _ in range(n)]
+            resized = True
+        # Width: one day should cover the pending span (so pushes land
+        # in buckets, not the far heap), floored by the observed mean
+        # dispatch gap so dense regimes keep a few timestamps per
+        # bucket rather than collapsing into one.
+        span = self._far_max - far[0][0]
+        width = None
+        if 0.0 < span < _INF:
+            width = span / n
+        if self._gap_count >= 32:
+            mean_gap = self._gap_sum / self._gap_count
+            floor = mean_gap * 2.0
+            if width is None or width < floor:
+                width = floor
+            self._gap_sum *= 0.5
+            self._gap_count >>= 1
+        if width is not None and width > _MIN_WIDTH:
+            ratio = width * self._inv_width
+            if ratio > 2.0 or ratio < 0.5:
+                self._width = width
+                self._inv_width = 1.0 / width
+                resized = True
+        if resized:
+            self.resizes += 1
+
+    def _respread(self) -> None:
+        """Mid-day rescue for a skewed burst that overfilled the buckets.
+
+        Gathers every pending bucket entry, re-tunes width to the
+        entries' observed span, grows the bucket array, and re-places
+        everything under the new geometry. The active run is left
+        alone: its entries all precede the gathered ones, and it is
+        drained first by construction.
+        """
+        pending: List[List[Any]] = []
+        for i, bucket in enumerate(self._buckets):
+            if bucket:
+                pending.extend(bucket)
+                self._buckets[i] = []
+        self._in_buckets = 0
+        if not pending:  # pragma: no cover - trigger implies entries
+            return
+        t_min = min(entry[0] for entry in pending)
+        t_max = max(entry[0] for entry in pending)
+        n = self._nbuckets
+        while len(pending) > (n << 1) and n < _MAX_BUCKETS:
+            n <<= 1
+        width = max((t_max - t_min) / len(pending), _MIN_WIDTH)
+        self._nbuckets = n
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._day_start = t_min
+        end = t_min + n * width
+        if self._far:
+            # Never extend the day past the earliest far entry, or a
+            # bucketed entry could pop before a smaller far one.
+            far_min = self._far[0][0]
+            if far_min < end:
+                end = far_min
+        self._day_end = end
+        self._cur = -1
+        if len(self._buckets) != n:
+            self._buckets = [[] for _ in range(n)]
+        buckets = self._buckets
+        inv = self._inv_width
+        limit = n - 1
+        far = self._far
+        count = 0
+        for entry in pending:
+            t = entry[0]
+            if t >= end:
+                heappush(far, entry)
+                if t > self._far_max:
+                    self._far_max = t
+                continue
+            idx = int((t - t_min) * inv)
+            buckets[idx if idx < limit else limit].append(entry)
+            count += 1
+        self._in_buckets = count
+        self.resizes += 1
+
+    # ------------------------------------------------------------ misc
+    def peek_time(self) -> float:
+        if self._past:
+            return self._past[0][0]
+        if self._fifo:
+            return self._fifo[0][0]
+        if self._apos >= len(self._active):
+            if not (self._in_buckets or self._far):
+                return _INF
+            self._settle()
+        return self._active[self._apos][0]
+
+    def __len__(self) -> int:
+        return (len(self._fifo) + len(self._active) - self._apos
+                + self._in_buckets + len(self._far) + len(self._past))
+
+
+def _entry_time(entry: List[Any]) -> float:
+    return entry[0]
+
+
+#: name -> backend class; extended in-process by tests/experiments.
+QUEUE_BACKENDS = {
+    HeapEventQueue.name: HeapEventQueue,
+    CalendarQueue.name: CalendarQueue,
+}
+
+#: Backend used when nothing selects one explicitly. The calendar queue
+#: is the production default; ``heap`` is the reference for A/B runs.
+DEFAULT_BACKEND = CalendarQueue.name
+
+#: Process-local override installed by :func:`queue_override`.
+_OVERRIDE: Optional[str] = None
+
+#: Environment variable consulted at Simulator construction.
+ENV_VAR = "REPRO_SIM_QUEUE"
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve (and validate) the backend name to construct.
+
+    Precedence: explicit ``name`` > :func:`queue_override` context >
+    ``REPRO_SIM_QUEUE`` > :data:`DEFAULT_BACKEND`.
+    """
+    if name is None:
+        name = _OVERRIDE or os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    if name not in QUEUE_BACKENDS:
+        raise ValueError(
+            f"unknown event-queue backend {name!r}; "
+            f"pick one of {tuple(sorted(QUEUE_BACKENDS))}")
+    return name
+
+
+def make_queue(queue=None) -> EventQueue:
+    """Build the queue a ``Simulator(queue=...)`` argument describes.
+
+    ``queue`` may be ``None`` (resolve via override/env/default), a
+    registered backend name, or an already-constructed queue object
+    (used as-is — handy for instrumented queues in tests).
+    """
+    if queue is not None and not isinstance(queue, str):
+        return queue
+    return QUEUE_BACKENDS[resolve_backend(queue)]()
+
+
+class queue_override:
+    """Context manager: select ``name`` for Simulators built inside.
+
+    Weaker than an explicit ``Simulator(queue=...)`` argument, stronger
+    than ``REPRO_SIM_QUEUE``. Used by the bench/identity machinery to
+    pin a backend without mutating the process environment.
+    """
+
+    def __init__(self, name: str):
+        resolve_backend(name)  # validate eagerly
+        self._name = name
+        self._previous: Optional[str] = None
+
+    def __enter__(self):
+        global _OVERRIDE
+        self._previous = _OVERRIDE
+        _OVERRIDE = self._name
+        return self
+
+    def __exit__(self, *exc):
+        global _OVERRIDE
+        _OVERRIDE = self._previous
+        return False

@@ -19,7 +19,6 @@ Four concerns:
   fault plans) and diffs the serialized results exactly.
 """
 
-from heapq import heappush
 from types import SimpleNamespace
 
 import pytest
@@ -60,11 +59,11 @@ LOOP_IDS = ["fast", "checked", "audited"]
 
 
 def push_past_event(sim, at: float):
-    """Corrupt the heap: an already-triggered event stamped in the past."""
+    """Corrupt the queue: an already-triggered event stamped in the past."""
     from repro.sim.core import Event
     event = Event(sim)
     event._triggered = True
-    heappush(sim._queue, [at, next(sim._counter), event])
+    sim._queue.push([at, next(sim._counter), event])
 
 
 class TestLoopParity:

@@ -1,0 +1,277 @@
+"""Tests for the pluggable event-queue backends (``repro.sim.queues``).
+
+The calendar queue must be *observationally identical* to the heap
+reference: same pop order (including same-tick FIFO), same error
+surfaces, same results under every kernel loop. These tests pin the
+edge cases where calendar geometry could drift — bucket boundaries,
+far-list overflow, mid-day resizes — plus the batch-aware ``peek()``
+contract and backend selection plumbing.
+"""
+
+import random
+
+import pytest
+
+from repro.invariants import InvariantAuditor
+from repro.sim import SimulationError, Simulator
+from repro.sim.queues import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    QUEUE_BACKENDS,
+    CalendarQueue,
+    HeapEventQueue,
+    make_queue,
+    queue_override,
+    resolve_backend,
+)
+
+BACKENDS = sorted(QUEUE_BACKENDS)
+
+
+# --------------------------------------------------------------- helpers
+
+def drain(queue):
+    """Pop everything (batch API), returning entries in pop order."""
+    order = []
+    while True:
+        batch = queue.pop_batch()
+        if batch is None:
+            return order
+        order.extend([entry[0], entry[1]] for entry in batch)
+
+
+def fill(queue, times):
+    for seq, t in enumerate(times):
+        queue.push([t, seq, None])
+
+
+# ------------------------------------------------- direct queue ordering
+
+class TestCalendarOrdering:
+    def test_same_tick_fifo_across_bucket_boundaries(self):
+        # Duplicate timestamps on both sides of bucket edges: pops must
+        # come back time-ordered, seq-ordered within each timestamp.
+        queue = CalendarQueue(nbuckets=4, width=1.0)
+        times = [0.0, 3.9999999, 4.0, 0.0, 4.0, 1.0, 3.9999999, 1.0]
+        fill(queue, times)
+        expected = sorted(
+            ([t, seq] for seq, t in enumerate(times)))
+        assert drain(queue) == expected
+
+    def test_far_overflow_pops_in_order(self):
+        # Everything beyond day_end lands in the far list; day rolls
+        # must re-bucket it without reordering.
+        queue = CalendarQueue(nbuckets=4, width=1.0)
+        times = [100.0, 2.0, 50.0, 2.0, 1e6, 7.5, 100.0]
+        fill(queue, times)
+        assert drain(queue) == sorted(
+            [t, seq] for seq, t in enumerate(times))
+
+    def test_skewed_burst_triggers_respread_and_keeps_order(self):
+        queue = CalendarQueue(nbuckets=4, width=1e-6)
+        rng = random.Random(42)
+        # A burst inside the initial 4-microsecond day overfills the
+        # tiny bucket array: the mid-day respread must fire.
+        times = [rng.uniform(0.0, 4e-6) for _ in range(100)]
+        fill(queue, times)
+        assert queue.resizes > 0
+        # Then a second, far-future population exercises the day-roll
+        # re-tune on top of the respread geometry.
+        times += [rng.uniform(0.0, 10.0) for _ in range(2000)]
+        for seq, t in enumerate(times[100:], start=100):
+            queue.push([t, seq, None])
+        before = queue.resizes
+        order = drain(queue)
+        assert queue.resizes > before
+        assert order == sorted([t, seq] for seq, t in enumerate(times))
+
+    def test_interleaved_push_pop_matches_heap(self):
+        rng = random.Random(7)
+        heap, cal = HeapEventQueue(), CalendarQueue()
+        heap_order, cal_order = [], []
+        seq = 0
+        now = 0.0
+        for _ in range(300):
+            for _ in range(rng.randrange(4)):
+                t = now + rng.choice([0.0, 0.0, rng.expovariate(10.0),
+                                      rng.expovariate(0.01)])
+                heap.push([t, seq, None])
+                cal.push([t, seq, None])
+                seq += 1
+            if rng.random() < 0.7 and len(heap):
+                batch = heap.pop_batch()
+                now = batch[0][0]
+                heap_order.extend([e[0], e[1]] for e in batch)
+                cal_order.extend(
+                    [e[0], e[1]] for e in cal.pop_batch())
+        heap_order.extend([e[0], e[1]] for e in iter_all(heap))
+        cal_order.extend([e[0], e[1]] for e in iter_all(cal))
+        assert cal_order == heap_order
+
+    def test_len_tracks_population(self):
+        queue = CalendarQueue(nbuckets=4, width=1.0)
+        times = [0.0, 0.5, 7.0, 1e5, 0.0]
+        fill(queue, times)
+        assert len(queue) == 5
+        queue.pop_batch()
+        assert len(queue) == 3  # the two same-tick t=0 entries left
+        drain(queue)
+        assert len(queue) == 0
+
+
+def iter_all(queue):
+    while True:
+        batch = queue.pop_batch()
+        if batch is None:
+            return
+        yield from list(batch)
+
+
+# ----------------------------------------------------- kernel behaviour
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestKernelParity:
+    def test_empty_step_raises(self, backend):
+        sim = Simulator(queue=backend)
+        with pytest.raises(SimulationError,
+                           match=r"step\(\) on an empty event queue"):
+            sim.step()
+
+    def test_interrupts_and_pooled_timeouts(self, backend):
+        # pause() recycles Timeouts through the pool; interrupts ride
+        # the relay pool. Interleaving both must not disturb order or
+        # leak recycled events.
+        sim = Simulator(queue=backend)
+        log = []
+
+        def worker(i):
+            for r in range(5):
+                try:
+                    yield sim.pause(1e-4 * ((i + r) % 3 + 1))
+                except Exception:
+                    pass
+                log.append((round(sim.now, 9), i, r))
+
+        workers = [sim.process(worker(i), name=f"w{i}")
+                   for i in range(8)]
+
+        def interrupter():
+            yield sim.pause(2.5e-4)
+            workers[0].interrupt("poke")
+            workers[3].interrupt("poke")
+            yield sim.pause(2.5e-4)
+
+        sim.process(interrupter(), name="intr")
+        sim.run()
+        assert len(log) == 40
+        times = [entry[0] for entry in log]
+        assert times == sorted(times)
+        if backend == DEFAULT_BACKEND:
+            TestKernelParity.reference_log = log
+        else:
+            assert log == TestKernelParity.reference_log
+
+    def test_batch_aware_peek(self, backend):
+        # A callback running inside a same-tick batch must still see
+        # peek() == now while later batch members are pending (the
+        # Sampler loop depends on this).
+        sim = Simulator(queue=backend)
+        peeks = []
+
+        def observer():
+            while True:
+                peeks.append((sim.now, sim.peek()))
+                if sim.peek() == float("inf"):
+                    return
+                yield sim.pause(sim.peek() - sim.now)
+
+        def worker():
+            for _ in range(3):
+                yield sim.pause(1.0)
+
+        sim.process(observer(), name="obs")
+        sim.process(worker(), name="work")
+        sim.run()
+        # The observer woke at every event time — including inside the
+        # t=0 bootstrap batch — proving peek() never goes blind
+        # mid-batch (same trace on every backend).
+        assert [p[0] for p in peeks] == [0.0, 0.0, 1.0, 2.0, 3.0, 3.0]
+
+
+def _workload(sim):
+    done = []
+
+    def burst(i):
+        for r in range(20):
+            yield sim.pause(1e-5 * ((i * 7 + r) % 11 + 1))
+            if r % 5 == 0:
+                yield sim.pause(0.0)  # same-tick re-arm
+        done.append(i)
+
+    def spawner():
+        for i in range(4):
+            child = sim.process(burst(100 + i), name=f"c{i}")
+            yield child
+
+    for i in range(12):
+        sim.process(burst(i), name=f"b{i}")
+    sim.process(spawner(), name="spawn")
+    sim.run()
+    return sim.now, sim.event_count, sorted(done)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_loop_parity_matrix(backend):
+    """fast / checked / audited agree on clock, count and results."""
+    results = []
+    for make in (lambda: Simulator(queue=backend),
+                 lambda: Simulator(queue=backend, debug=True)):
+        results.append(_workload(make()))
+    sim = Simulator(queue=backend)
+    InvariantAuditor().install(sim)
+    results.append(_workload(sim))
+    assert results[0] == results[1] == results[2]
+    # And the backends agree with each other.
+    if backend == BACKENDS[0]:
+        test_loop_parity_matrix.reference = results[0]
+    else:
+        assert results[0] == test_loop_parity_matrix.reference
+
+
+# --------------------------------------------------- backend selection
+
+class TestBackendSelection:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_backend() == DEFAULT_BACKEND
+        assert Simulator().queue_backend == DEFAULT_BACKEND
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "heap")
+        assert resolve_backend() == "heap"
+        assert Simulator().queue_backend == "heap"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "heap")
+        with queue_override("calendar"):
+            assert Simulator().queue_backend == "calendar"
+        assert Simulator().queue_backend == "heap"
+
+    def test_ctor_beats_override(self):
+        with queue_override("calendar"):
+            assert Simulator(queue="heap").queue_backend == "heap"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown event-queue backend"):
+            Simulator(queue="btree")
+        with pytest.raises(ValueError, match="unknown event-queue backend"):
+            resolve_backend("btree")
+        monkeypatch.setenv(ENV_VAR, "nope")
+        with pytest.raises(ValueError, match="unknown event-queue backend"):
+            make_queue()
+
+    def test_instance_passthrough(self):
+        queue = HeapEventQueue()
+        sim = Simulator(queue=queue)
+        assert sim._queue is queue
+        assert sim.queue_backend == "heap"
