@@ -402,6 +402,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also summarize this sweep journal: cell "
                              "counts plus any quarantined invariant "
                              "violations with their ledgers")
+    doctor.add_argument("--verify-artifacts", nargs="?", const="results",
+                        default=None, metavar="DIR",
+                        help="re-hash every artifact in DIR (default "
+                             "results/) against its MANIFEST.json and "
+                             "report per-file drift")
+
+    crashtest = sub.add_parser(
+        "crashtest", help="run the durability gauntlet: crash the "
+                          "persistence stack at every write/fsync/"
+                          "rename boundary and assert recovery "
+                          "(see docs/DURABILITY.md)")
+    crashtest.add_argument("--points", type=int, default=None,
+                           metavar="N",
+                           help="test at most N evenly-sampled crash "
+                                "points per workload (default: every "
+                                "enumerated boundary)")
+    crashtest.add_argument("--seed", type=int, default=0, metavar="S",
+                           help="fault-plan seed (default 0)")
+    crashtest.add_argument("--quick", action="store_true",
+                           help="CI smoke setting: smaller workloads, "
+                                "fewer boundaries")
+    crashtest.add_argument("--out-dir", default="results", metavar="DIR",
+                           help="where crashtest-report.json and any "
+                                "failing crash sandboxes land "
+                                "(default results/)")
 
     audit = sub.add_parser(
         "audit", help="arm the conservation-law auditors: differential "
@@ -886,6 +911,23 @@ def _command_chaos(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _command_crashtest(args) -> int:
+    """Durability gauntlet (crash-point enumeration + fault plans)."""
+    from .durability.gauntlet import render_crashtest, run_crashtest
+    try:
+        report = run_crashtest(out_dir=args.out_dir,
+                               seed=args.seed,
+                               quick=args.quick,
+                               points=args.points,
+                               log=print)
+    except (OSError, ValueError) as exc:
+        print(f"crashtest failed to run: {exc}", file=sys.stderr)
+        return 1
+    print(render_crashtest(report))
+    print(f"report: {os.path.join(args.out_dir, 'crashtest-report.json')}")
+    return 0 if report["ok"] else 1
+
+
 def _command_bench(args) -> int:
     """Run the perf suites, write BENCH_*.json, optionally A/B compare."""
     from .perfbench import (
@@ -1103,12 +1145,37 @@ def _command_doctor(args) -> int:
             checks.append((f"journal {args.journal}",
                            not violated and not oom_cells, detail))
 
+    drift_lines = []
+    if getattr(args, "verify_artifacts", None):
+        from .experiments.artifacts import MANIFEST_NAME, manifest_report
+        directory = args.verify_artifacts
+        try:
+            report = manifest_report(directory)
+        except (OSError, ValueError) as exc:
+            checks.append((f"artifacts {directory}", False, str(exc)))
+        else:
+            if report is None:
+                checks.append((f"artifacts {directory}", False,
+                               f"no {MANIFEST_NAME}"))
+            else:
+                drifted = {name: status
+                           for name, status in report.items()
+                           if status != "ok"}
+                detail = (f"{len(report) - len(drifted)}/{len(report)} "
+                          f"file(s) match their checksums")
+                checks.append((f"artifacts {directory}", not drifted,
+                               detail))
+                for name, status in sorted(drifted.items()):
+                    drift_lines.append(f"  drift: {name}: {status}")
+
     width = max(len(name) for name, _, _ in checks)
     for name, ok, detail in checks:
         status = "ok" if ok else "FAIL"
         line = f"  {name:<{width}}  {status}"
         print(f"{line}  {detail}" if detail else line)
     for line in service_lines:
+        print(line)
+    for line in drift_lines:
         print(line)
     for key, cell in sorted(violated.items()):
         report = cell.violation
@@ -1212,6 +1279,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_worker(args)
     if args.command == "chaos":
         return _command_chaos(args)
+    if args.command == "crashtest":
+        return _command_crashtest(args)
     if args.command == "audit":
         return _command_audit(args)
     if args.command == "bench":

@@ -1,0 +1,36 @@
+"""Durability testing: IO fault injection and crash-point enumeration.
+
+The package has two halves:
+
+* the **seam** — :func:`current_io` / :func:`io_scope` and the
+  :class:`IOLayer` implementations (:data:`REAL_IO`,
+  :class:`FaultyIO`, :class:`CrashPointIO`) that every journal append
+  and atomic artifact write in the repo goes through;
+* the **gauntlet** — :mod:`repro.durability.gauntlet` (``repro
+  crashtest``), which runs real journal / job-queue / artifact
+  workloads, cuts the power at every write/fsync/rename boundary, and
+  asserts recovery. It is imported lazily (not here) because it pulls
+  in the experiment harness.
+
+See ``docs/DURABILITY.md`` for the fault model and the verified
+guarantees.
+"""
+
+from .crashpoints import Boundary, CrashPointIO
+from .faulty import FaultyIO
+from .io_layer import (
+    IOLayer,
+    REAL_IO,
+    RealIO,
+    SimulatedCrash,
+    current_io,
+    io_scope,
+)
+from .plan import DURABILITY_KINDS, DurabilityPlan, DurabilitySpec
+
+__all__ = [
+    "IOLayer", "RealIO", "REAL_IO", "SimulatedCrash",
+    "current_io", "io_scope",
+    "DURABILITY_KINDS", "DurabilitySpec", "DurabilityPlan",
+    "FaultyIO", "CrashPointIO", "Boundary",
+]

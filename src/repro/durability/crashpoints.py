@@ -1,0 +1,259 @@
+"""Power-loss simulation at exact write/fsync/rename boundaries.
+
+:class:`CrashPointIO` counts every durability boundary a workload
+crosses — file creation, content write, fsync, directory fsync,
+rename — and can cut the power at exactly one of them: the operation
+at ``crash_at`` raises :class:`~repro.durability.io_layer.SimulatedCrash`
+and :meth:`CrashPointIO.materialize` then rewrites the sandbox to hold
+only what a real disk would have kept.
+
+The durability model is a simplified ALICE/CrashMonkey: per file it
+tracks *durable* bytes (fsync'd), *pending* bytes (written, still in
+the page cache), and whether the file's *directory entry* is durable
+(parent directory fsync'd since creation). Renames are pending until
+the destination directory is fsync'd. At the crash:
+
+``create``
+    Power dies as the file is created: the file never existed.
+``write``
+    A torn write: this file keeps its pending bytes plus the first
+    half of the interrupted buffer; nothing else leaves the cache.
+``fsync``
+    Power dies before the flush: every pending byte is lost.
+``fsync_dir``
+    Entries and renames waiting on this directory stay volatile.
+``replace``
+    The rename never happens; the destination keeps its old content.
+
+Un-fired operations update the model *adversarially*: writes stay
+pending until an fsync, creations and renames stay volatile until the
+parent-directory fsync — so a workload that skips a durability step
+loses data at the next crash point, exactly like a worst-case real
+filesystem. Before the crash, real files carry the full (cached)
+content, so in-workload reads behave like reads against a live page
+cache.
+
+Only paths under ``root`` are modeled; everything else passes through.
+After the crash fires the layer becomes a pure pass-through so unwind
+code (handle closes, temp-file cleanup) cannot disturb the counting.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import BinaryIO, Dict, List, Optional, Tuple
+
+from .io_layer import IOLayer, REAL_IO, SimulatedCrash
+
+__all__ = ["CrashPointIO", "Boundary"]
+
+#: Matches the random token ``tempfile.mkstemp`` puts between the
+#: artifact-derived prefix and the ``.tmp`` suffix.
+_TMP_TOKEN = re.compile(r"^(\..+\.)[A-Za-z0-9_]+(\.tmp)$")
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """One counted durability boundary."""
+
+    index: int
+    op: str
+    path: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.index}:{self.op}:{self.path}"
+
+
+@dataclass
+class _FileModel:
+    """What a real disk holds for one file."""
+
+    entry_durable: bool
+    durable: bytes = b""
+    pending: bytes = b""
+
+
+class CrashPointIO(IOLayer):
+    """Count durability boundaries; optionally crash at one of them."""
+
+    def __init__(self, root: str, crash_at: Optional[int] = None,
+                 inner: Optional[IOLayer] = None):
+        self.root = os.path.abspath(root)
+        self.crash_at = crash_at
+        self.inner = inner if inner is not None else REAL_IO
+        self.boundaries: List[Boundary] = []
+        self.crashed: Optional[Boundary] = None
+        self._files: Dict[str, _FileModel] = {}
+        self._renames: List[Tuple[str, str, bytes]] = []
+        self._paths: Dict[int, str] = {}
+
+    # ----------------------------------------------------- bookkeeping
+    def _tracked(self, path: str) -> Optional[str]:
+        """The canonical key for a modeled path, or None if untracked."""
+        if self.crashed is not None:
+            return None
+        absolute = os.path.abspath(path)
+        if absolute == self.root or absolute.startswith(self.root + os.sep):
+            return absolute
+        return None
+
+    def _display(self, path: str) -> str:
+        """A stable, sandbox-relative label for a boundary path."""
+        relative = os.path.relpath(path, self.root)
+        head, name = os.path.split(relative)
+        match = _TMP_TOKEN.match(name)
+        if match:
+            name = f"{match.group(1)}*{match.group(2)}"
+        return os.path.join(head, name) if head else name
+
+    def _boundary(self, op: str, path: str) -> bool:
+        """Count one boundary; True when the crash fires here."""
+        boundary = Boundary(index=len(self.boundaries), op=op,
+                            path=self._display(path))
+        self.boundaries.append(boundary)
+        if self.crash_at is not None and boundary.index == self.crash_at:
+            self.crashed = boundary
+            return True
+        return False
+
+    def _crash(self) -> None:
+        raise SimulatedCrash(self.crashed.label)
+
+    def _model(self, path: str) -> _FileModel:
+        model = self._files.get(path)
+        if model is None:
+            # First sighting. A file that already exists predates this
+            # layer (e.g. handed over from a reference phase): its
+            # current content counts as durable.
+            if os.path.exists(path):
+                with open(path, "rb") as handle:
+                    content = handle.read()
+                model = _FileModel(entry_durable=True, durable=content)
+            else:
+                model = _FileModel(entry_durable=False)
+            self._files[path] = model
+        return model
+
+    # ------------------------------------------------------ seam methods
+    def open_append(self, path: str) -> BinaryIO:
+        key = self._tracked(path)
+        if key is not None and not os.path.exists(path):
+            if self._boundary("create", key):
+                # Power died as the entry was created: the file never
+                # existed. Don't create it for real either.
+                self._crash()
+            self._files[key] = _FileModel(entry_durable=False)
+        elif key is not None:
+            self._model(key)
+        handle = self.inner.open_append(path)
+        if key is not None:
+            self._paths[id(handle)] = key
+        return handle
+
+    def mkstemp(self, directory: str,
+                prefix: str, suffix: str) -> Tuple[BinaryIO, str]:
+        key = self._tracked(os.path.join(directory, prefix + suffix))
+        if key is not None and self._boundary("create", key):
+            self._crash()
+        handle, tmp = self.inner.mkstemp(directory, prefix, suffix)
+        if key is not None:
+            self._files[os.path.abspath(tmp)] = _FileModel(
+                entry_durable=False)
+            self._paths[id(handle)] = os.path.abspath(tmp)
+        return handle, tmp
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        key = self._paths.get(id(handle))
+        if key is None or self.crashed is not None:
+            self.inner.write(handle, data)
+            return
+        if self._boundary("write", key):
+            # A torn write: this file's cached pages plus half the
+            # interrupted buffer reach the platter, nothing else does.
+            model = self._model(key)
+            model.durable += model.pending + data[:len(data) // 2]
+            model.pending = b""
+            self._crash()
+        self.inner.write(handle, data)
+        self._model(key).pending += data
+
+    def fsync(self, handle: BinaryIO) -> None:
+        key = self._paths.get(id(handle))
+        if key is None or self.crashed is not None:
+            self.inner.fsync(handle)
+            return
+        if self._boundary("fsync", key):
+            self._crash()  # nothing pending was flushed anywhere
+        self.inner.fsync(handle)
+        model = self._model(key)
+        model.durable += model.pending
+        model.pending = b""
+
+    def fsync_dir(self, directory: str) -> None:
+        key = self._tracked(directory)
+        if key is None:
+            self.inner.fsync_dir(directory)
+            return
+        if self._boundary("fsync_dir", key):
+            self._crash()  # entries/renames below stay volatile
+        self.inner.fsync_dir(directory)
+        for path, model in self._files.items():
+            if os.path.dirname(path) == key:
+                model.entry_durable = True
+        applied = []
+        for rename in self._renames:
+            src, dst, content = rename
+            if os.path.dirname(dst) == key:
+                self._files[dst] = _FileModel(entry_durable=True,
+                                              durable=content)
+                applied.append(rename)
+        for rename in applied:
+            self._renames.remove(rename)
+
+    def replace(self, src: str, dst: str) -> None:
+        src_key, dst_key = self._tracked(src), self._tracked(dst)
+        if dst_key is None:
+            self.inner.replace(src, dst)
+            return
+        if self._boundary("replace", dst_key):
+            # The rename never happened: dst keeps its old durable
+            # content, src (a volatile temp entry) evaporates.
+            self._crash()
+        source = (self._files.pop(src_key, None)
+                  if src_key is not None else None)
+        content = b"" if source is None else source.durable + source.pending
+        # Snapshot dst's pre-rename state first: the rename is durable
+        # only once the destination directory is fsync'd, and until
+        # then a crash exposes dst's *old* content (or absence).
+        self._model(dst_key)
+        self.inner.replace(src, dst)
+        self._renames.append((src_key or src, dst_key, content))
+
+    # ------------------------------------------------------ materialize
+    def materialize(self) -> List[str]:
+        """Rewrite the sandbox to the post-crash durable state.
+
+        Returns the sandbox-relative paths that changed or vanished —
+        the visible blast radius of the crash.
+        """
+        touched: List[str] = []
+        for path, model in sorted(self._files.items()):
+            display = self._display(path)
+            if not model.entry_durable:
+                if os.path.exists(path):
+                    os.unlink(path)
+                    touched.append(f"{display}: gone (entry never durable)")
+                continue
+            current = None
+            if os.path.exists(path):
+                with open(path, "rb") as handle:
+                    current = handle.read()
+            if current != model.durable:
+                with open(path, "wb") as handle:
+                    handle.write(model.durable)
+                touched.append(f"{display}: rewound to "
+                               f"{len(model.durable)} durable byte(s)")
+        return touched

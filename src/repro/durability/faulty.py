@@ -1,0 +1,148 @@
+"""The fault-injecting IO layer: a seeded, lying, failing filesystem.
+
+:class:`FaultyIO` wraps any :class:`~repro.durability.io_layer.IOLayer`
+(default :data:`~repro.durability.io_layer.REAL_IO`) and consults a
+:class:`~repro.durability.plan.DurabilityPlan` before every seam
+operation. Fired faults surface exactly like the real thing —
+``OSError`` with ``errno.ENOSPC``/``errno.EIO`` — so callers exercise
+their genuine error paths, and every fault carries ``(injected)`` in
+its message so test assertions can tell them from real failures.
+
+``fsync_lie`` is the one silent kind: the fsync "succeeds" without
+making anything durable. The layer tracks the truly-synced length of
+every file it touched (following renames), and
+:meth:`FaultyIO.lose_unsynced` plays the power cut that reveals the
+lie — truncating each file back to what an honest drive would have
+kept.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from typing import BinaryIO, Dict, Optional, Tuple
+
+from .io_layer import IOLayer, REAL_IO
+from .plan import DurabilityPlan, DurabilitySpec
+
+__all__ = ["FaultyIO"]
+
+
+class FaultyIO(IOLayer):
+    """Inject filesystem faults per a seeded :class:`DurabilityPlan`."""
+
+    def __init__(self, plan: DurabilityPlan,
+                 inner: Optional[IOLayer] = None):
+        self.plan = plan
+        self.inner = inner if inner is not None else REAL_IO
+        self._rng = random.Random(f"{plan.seed}:durability")
+        self._eligible = [0] * len(plan.specs)
+        self._fired = [0] * len(plan.specs)
+        #: Injected faults by kind, for test assertions and reports.
+        self.stats: Dict[str, int] = {}
+        self._synced: Dict[str, int] = {}
+        self._paths: Dict[int, str] = {}
+
+    # -------------------------------------------------------- plan match
+    def _fault(self, op: str, path: str) -> Optional[DurabilitySpec]:
+        """The fault rule firing on this operation, if any."""
+        fired = None
+        for index, spec in enumerate(self.plan.specs):
+            if not spec.matches(op, path):
+                continue
+            self._eligible[index] += 1
+            if fired is not None:
+                continue  # first firing rule wins; later ones still count
+            if self._eligible[index] <= spec.after:
+                continue
+            if spec.limit and self._fired[index] >= spec.limit:
+                continue
+            if (spec.probability < 1
+                    and self._rng.random() >= spec.probability):
+                continue
+            self._fired[index] += 1
+            self.stats[spec.kind] = self.stats.get(spec.kind, 0) + 1
+            fired = spec
+        return fired
+
+    @staticmethod
+    def _raise(code: int, op: str, path: str) -> None:
+        raise OSError(code, f"{os.strerror(code)} (injected {op})", path)
+
+    # ------------------------------------------------------ seam methods
+    def open_append(self, path: str) -> BinaryIO:
+        if not os.path.exists(path):
+            if self._fault("create", path) is not None:
+                self._raise(errno.ENOSPC, "create", path)
+        handle = self.inner.open_append(path)
+        self._paths[id(handle)] = path
+        self._synced.setdefault(path, os.path.getsize(path))
+        return handle
+
+    def mkstemp(self, directory: str, prefix: str,
+                suffix: str) -> Tuple[BinaryIO, str]:
+        probe = os.path.join(directory, prefix + suffix)
+        if self._fault("create", probe) is not None:
+            self._raise(errno.ENOSPC, "create", probe)
+        handle, tmp = self.inner.mkstemp(directory, prefix, suffix)
+        self._paths[id(handle)] = tmp
+        self._synced.setdefault(tmp, 0)
+        return handle, tmp
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        path = self._paths.get(id(handle), getattr(handle, "name", "?"))
+        spec = self._fault("write", path)
+        if spec is not None and spec.kind == "enospc":
+            self._raise(errno.ENOSPC, "write", path)
+        if spec is not None and spec.kind == "eio":
+            self._raise(errno.EIO, "write", path)
+        if spec is not None and spec.kind == "short_write":
+            landed = int(spec.magnitude) or max(1, len(data) // 2)
+            self.inner.write(handle, data[:landed])
+            self._raise(errno.EIO, "short write", path)
+        self.inner.write(handle, data)
+
+    def fsync(self, handle: BinaryIO) -> None:
+        path = self._paths.get(id(handle), getattr(handle, "name", "?"))
+        spec = self._fault("fsync", path)
+        if spec is not None and spec.kind == "eio":
+            self._raise(errno.EIO, "fsync", path)
+        if spec is not None and spec.kind == "fsync_lie":
+            return  # "success" — nothing reached the platter
+        self.inner.fsync(handle)
+        if path in self._synced:
+            try:
+                self._synced[path] = os.path.getsize(path)
+            except OSError:  # pragma: no cover - file vanished
+                pass
+
+    def fsync_dir(self, directory: str) -> None:
+        self.inner.fsync_dir(directory)
+
+    def replace(self, src: str, dst: str) -> None:
+        if self._fault("replace", dst) is not None:
+            self._raise(errno.EIO, "rename", dst)
+        self.inner.replace(src, dst)
+        if src in self._synced:
+            self._synced[dst] = self._synced.pop(src)
+
+    # ----------------------------------------------------- lie reveal
+    def lose_unsynced(self) -> Dict[str, int]:
+        """Play the power cut an ``fsync_lie`` was hiding.
+
+        Every file this layer touched is truncated back to its last
+        *truly*-synced length — what an honest drive would have kept.
+        Returns ``{path: bytes_lost}`` for the files that shrank.
+        """
+        lost: Dict[str, int] = {}
+        for path, synced in self._synced.items():
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            if size > synced:
+                with open(path, "rb+") as handle:
+                    handle.truncate(synced)
+                lost[path] = size - synced
+        return lost

@@ -1,0 +1,660 @@
+"""The durability gauntlet: crash every boundary, assert recovery.
+
+``repro crashtest`` (:func:`run_crashtest`) drives three real
+workloads — a journaled sweep through :class:`SweepRunner`, a scripted
+:class:`~repro.service.jobs.JobQueue` session, and a sequence of
+atomic artifact + manifest writes — through the durability seam:
+
+1. a **reference** run under :data:`~repro.durability.io_layer.REAL_IO`
+   records the uninterrupted outcome, snapshotting the sandbox at
+   every acknowledged durability point;
+2. a **counting** run under a pass-through
+   :class:`~repro.durability.crashpoints.CrashPointIO` enumerates
+   every create/write/fsync/fsync_dir/replace boundary the workload
+   crosses;
+3. one run **per boundary** cuts the power there
+   (:class:`~repro.durability.io_layer.SimulatedCrash`), materializes
+   the post-crash durable state, and asserts the recovery invariants:
+
+   * nothing acknowledged before the crash is lost (journal records,
+     job transitions, artifact versions survive the power cut);
+   * no file is ever torn: every surviving artifact byte-equals some
+     version the uninterrupted run produced, and every surviving log
+     is a clean prefix of the uninterrupted log;
+   * recovery (resume for sweeps, deterministic replay for the job
+     queue, re-running the writes for artifacts) converges to results
+     **byte-identical** to the uninterrupted run, with
+     :func:`~repro.experiments.artifacts.verify_manifest` clean.
+
+A second phase replays seeded
+:class:`~repro.durability.plan.DurabilityPlan` fault scenarios —
+ENOSPC clean aborts, one-shot EIO and short writes absorbed by the
+journal's retry, rename failures, fsync lies revealed by
+:meth:`~repro.durability.faulty.FaultyIO.lose_unsynced` — and asserts
+the hardened error paths. See ``docs/DURABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import shutil
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..experiments.artifacts import (
+    atomic_write_text,
+    verify_manifest,
+    write_manifest,
+)
+from ..experiments.harness import SweepRunner
+from ..experiments.journal import JournalWriteError, SweepJournal
+from ..experiments.workers import CellSpec
+from ..service.jobs import JobQueue
+from .crashpoints import CrashPointIO
+from .faulty import FaultyIO
+from .io_layer import SimulatedCrash, io_scope
+from .plan import DurabilityPlan, DurabilitySpec
+
+__all__ = ["run_crashtest", "render_crashtest"]
+
+
+# ---------------------------------------------------------------- helpers
+def _read_tree(root: str) -> Dict[str, bytes]:
+    """Every regular file under ``root``, relative path -> bytes."""
+    tree: Dict[str, bytes] = {}
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            path = os.path.join(dirpath, name)
+            with open(path, "rb") as handle:
+                tree[os.path.relpath(path, root)] = handle.read()
+    return tree
+
+
+def _trim_torn(data: bytes) -> bytes:
+    """A log minus its crash-torn final fragment (if any)."""
+    if data.endswith(b"\n"):
+        return data
+    return data[:data.rfind(b"\n") + 1]
+
+
+class _AckRecorder(list):
+    """An ack list that snapshots the sandbox at every durability point."""
+
+    def __init__(self, root: str):
+        super().__init__()
+        self.root = root
+        self.snapshots: List[Dict[str, bytes]] = []
+
+    def append(self, item) -> None:
+        super().append(item)
+        self.snapshots.append(_read_tree(self.root))
+
+
+class _Reference:
+    """What the uninterrupted run produced, version history included."""
+
+    def __init__(self, root: str, final: Dict[str, bytes],
+                 snapshots: List[Dict[str, bytes]]):
+        self.root = root
+        self.final = final
+        self.snapshots = snapshots
+        # First-seen order of each file's content versions across the
+        # ack snapshots plus the final tree: the only states a crash
+        # may legally expose (plus absence).
+        self.versions: Dict[str, List[bytes]] = {}
+        for tree in snapshots + [final]:
+            for name, content in tree.items():
+                seen = self.versions.setdefault(name, [])
+                if content not in seen:
+                    seen.append(content)
+
+    def version_index(self, name: str, content: bytes) -> int:
+        try:
+            return self.versions[name].index(content)
+        except (KeyError, ValueError):
+            return -1
+
+
+# -------------------------------------------------------------- workloads
+class _Workload:
+    """One persistence-stack workload the gauntlet can crash anywhere.
+
+    ``log_files`` names the append-only JSONL files, which get
+    prefix-of-reference checks instead of whole-version checks.
+    """
+
+    name = "?"
+    log_files: Tuple[str, ...] = ()
+
+    def run(self, root: str, acked: list) -> None:
+        raise NotImplementedError
+
+    def recover(self, root: str) -> None:
+        """Default recovery: re-run the workload (it must be resumable)."""
+        self.run(root, [])
+
+    def check_crashed(self, root: str, acked: list) -> List[str]:
+        return []
+
+    def check_recovered(self, root: str,
+                        reference: _Reference) -> List[str]:
+        return []
+
+
+class JournalSweepWorkload(_Workload):
+    """A real (tiny) sweep through SweepRunner + SweepJournal + artifacts."""
+
+    name = "journal"
+    log_files = ("sweep.journal.jsonl",)
+
+    def __init__(self, quick: bool):
+        self.specs = [CellSpec(task="select", arch="active", num_disks=2,
+                               scale=1 / 256)]
+        if not quick:
+            self.specs.append(CellSpec(task="select", arch="smp",
+                                       num_disks=2, scale=1 / 256))
+
+    def run(self, root: str, acked: list) -> None:
+        runner = SweepRunner(os.path.join(root, "sweep.journal.jsonl"),
+                             meta={"figure": "crashtest"})
+
+        def ack(outcome) -> None:
+            if outcome.status == "done":
+                acked.append(("cell", outcome.key))
+
+        results = runner.run(self.specs, after_cell=ack)
+        lines = [f"{key}: {results[key].elapsed!r}"
+                 for key in sorted(results)]
+        atomic_write_text(os.path.join(root, "cells.txt"),
+                          "\n".join(lines) + "\n")
+        write_manifest(root)
+
+    def check_crashed(self, root: str, acked: list) -> List[str]:
+        path = os.path.join(root, self.log_files[0])
+        if not os.path.exists(path):
+            if acked:
+                return [f"{self.log_files[0]}: {len(acked)} acked "
+                        f"cell(s) lost with the journal file"]
+            return []
+        try:
+            journal = SweepJournal.load(path)
+        except ValueError as exc:
+            return [f"journal does not replay after crash: {exc}"]
+        done = journal.done()
+        return [f"acked cell {key!r} not done after crash"
+                for _kind, key in acked if key not in done]
+
+    def check_recovered(self, root: str,
+                        reference: _Reference) -> List[str]:
+        problems = [f"manifest: {problem}"
+                    for problem in verify_manifest(root)]
+        journal = SweepJournal.load(os.path.join(root, self.log_files[0]))
+        ref_journal = SweepJournal.load(
+            os.path.join(reference.root, self.log_files[0]))
+        done, ref_done = journal.done(), ref_journal.done()
+        if set(done) != set(ref_done):
+            problems.append(f"recovered journal finished {sorted(done)}, "
+                            f"reference finished {sorted(ref_done)}")
+        else:
+            for key, cell in done.items():
+                if cell.result != ref_done[key].result:
+                    problems.append(f"cell {key!r}: recovered result is "
+                                    f"not bit-identical to the reference")
+        return problems
+
+
+class JobQueueWorkload(_Workload):
+    """A scripted coordinator session against the persistent JobQueue."""
+
+    name = "jobqueue"
+    log_files = ("jobs.jsonl",)
+
+    _REQUEST_A = {"figure": "fig1", "sizes": [16], "tasks": ["select"],
+                  "scale": 1 / 256, "out_dir": "results"}
+    _REQUEST_B = {"figure": "fig3", "sizes": [16, 32],
+                  "scale": 1 / 256, "out_dir": "results"}
+
+    def _script(self) -> List[Callable[[JobQueue], None]]:
+        return [
+            lambda q: q.submit(self._REQUEST_A),
+            lambda q: q.update("job-0001", "running"),
+            lambda q: q.submit(self._REQUEST_B),
+            lambda q: q.update("job-0001", "done"),
+            lambda q: q.update("job-0002", "running"),
+            lambda q: q.update("job-0002", "failed",
+                               error="2 cell(s) quarantined"),
+        ]
+
+    @staticmethod
+    def _applied(path: str) -> int:
+        """Complete records on disk (the torn tail doesn't count)."""
+        if not os.path.exists(path):
+            return 0
+        with open(path, "rb") as handle:
+            data = _trim_torn(handle.read())
+        return sum(1 for line in data.split(b"\n") if line.strip())
+
+    def run(self, root: str, acked: list) -> None:
+        path = os.path.join(root, self.log_files[0])
+        queue = JobQueue.load(path)
+        try:
+            for index, op in enumerate(self._script()):
+                op(queue)
+                acked.append(("op", index))
+        finally:
+            queue.close()
+
+    def recover(self, root: str) -> None:
+        """Deterministic replay: re-apply exactly the ops that are
+        missing from the on-disk record stream."""
+        path = os.path.join(root, self.log_files[0])
+        applied = self._applied(path)
+        queue = JobQueue.load(path)
+        try:
+            for op in self._script()[applied:]:
+                op(queue)
+        finally:
+            queue.close()
+
+    def check_crashed(self, root: str, acked: list) -> List[str]:
+        path = os.path.join(root, self.log_files[0])
+        if not os.path.exists(path):
+            if acked:
+                return [f"{self.log_files[0]}: {len(acked)} acked "
+                        f"op(s) lost with the queue file"]
+            return []
+        try:
+            queue = JobQueue.load(path)
+        except ValueError as exc:
+            return [f"job queue does not replay after crash: {exc}"]
+        queue.close()
+        applied = self._applied(path)
+        if applied < len(acked):
+            return [f"{self.log_files[0]}: only {applied} of "
+                    f"{len(acked)} acked op(s) survived the crash"]
+        return []
+
+    def check_recovered(self, root: str,
+                        reference: _Reference) -> List[str]:
+        name = self.log_files[0]
+        with open(os.path.join(root, name), "rb") as handle:
+            recovered = handle.read()
+        if recovered != reference.final[name]:
+            return [f"{name}: recovered queue is not byte-identical "
+                    f"to the uninterrupted run"]
+        return []
+
+
+class ArtifactWorkload(_Workload):
+    """Atomic artifact writes + manifest refreshes, with an overwrite."""
+
+    name = "artifacts"
+    _V1 = "throughput by farm size\n16 disks: 1.0x\n"
+    _V2 = ("throughput by farm size\n16 disks: 1.0x\n"
+           "32 disks: 1.9x\n")
+    _CSV = "disks,speedup\n16,1.0\n32,1.9\n"
+
+    def __init__(self, quick: bool):
+        self.quick = quick
+
+    def run(self, root: str, acked: list) -> None:
+        atomic_write_text(os.path.join(root, "report.txt"), self._V1)
+        acked.append(("file", "report.txt", 1))
+        atomic_write_text(os.path.join(root, "data.csv"), self._CSV)
+        acked.append(("file", "data.csv", 1))
+        write_manifest(root)
+        acked.append(("manifest", 1))
+        if not self.quick:
+            atomic_write_text(os.path.join(root, "report.txt"), self._V2)
+            acked.append(("file", "report.txt", 2))
+            write_manifest(root)
+            acked.append(("manifest", 2))
+
+    def check_recovered(self, root: str,
+                        reference: _Reference) -> List[str]:
+        return [f"manifest: {problem}" for problem in verify_manifest(root)]
+
+
+# --------------------------------------------------------- generic checks
+def _check_crashed(workload: _Workload, root: str, acked: list,
+                   reference: _Reference) -> List[str]:
+    problems: List[str] = []
+    tree = _read_tree(root)
+    logs = set(workload.log_files)
+    for name, content in sorted(tree.items()):
+        if name.endswith(".tmp"):
+            problems.append(f"{name}: leftover temporary after crash")
+        elif name in logs:
+            refbytes = reference.final.get(name, b"")
+            if not refbytes.startswith(_trim_torn(content)):
+                problems.append(f"{name}: surviving log is not a clean "
+                                f"prefix of the uninterrupted log")
+        elif reference.version_index(name, content) < 0:
+            problems.append(f"{name}: torn or unknown content after crash")
+    if acked:
+        # The floor: everything durable at the last acknowledged point
+        # must still be there (same or newer version; logs at least as
+        # long as when the ack happened).
+        floor = reference.snapshots[len(acked) - 1]
+        for name, floor_bytes in sorted(floor.items()):
+            current = tree.get(name)
+            if name in logs:
+                survived = b"" if current is None else _trim_torn(current)
+                if len(survived) < len(floor_bytes):
+                    problems.append(f"{name}: acked record(s) lost (log "
+                                    f"rewound below the last ack)")
+            elif current is None:
+                problems.append(f"{name}: acked file missing after crash")
+            elif (reference.version_index(name, current)
+                  < reference.version_index(name, floor_bytes)):
+                problems.append(f"{name}: rolled back past the acked "
+                                f"version")
+    problems.extend(workload.check_crashed(root, acked))
+    return problems
+
+
+def _check_recovered(workload: _Workload, root: str,
+                     reference: _Reference) -> List[str]:
+    problems: List[str] = []
+    tree = _read_tree(root)
+    logs = set(workload.log_files)
+    for name, refbytes in sorted(reference.final.items()):
+        if name in logs:
+            continue  # logs may legally grow extra resume records
+        if tree.get(name) != refbytes:
+            problems.append(f"{name}: not byte-identical to the "
+                            f"uninterrupted run after recovery")
+    for name in sorted(tree):
+        if name not in reference.final and not name.endswith(
+                tuple(logs) if logs else ()):
+            problems.append(f"{name}: unexpected file after recovery")
+    problems.extend(workload.check_recovered(root, reference))
+    return problems
+
+
+# ------------------------------------------------------------ enumeration
+def _gauntlet_workload(workload: _Workload, base: str,
+                       points: Optional[int],
+                       log: Callable[[str], None]) -> Dict:
+    ref_root = os.path.join(base, f"{workload.name}-ref")
+    os.makedirs(ref_root, exist_ok=True)
+    recorder = _AckRecorder(ref_root)
+    workload.run(ref_root, recorder)
+    reference = _Reference(ref_root, _read_tree(ref_root),
+                           recorder.snapshots)
+
+    count_root = os.path.join(base, f"{workload.name}-count")
+    os.makedirs(count_root, exist_ok=True)
+    counter = CrashPointIO(count_root)
+    with io_scope(counter):
+        workload.run(count_root, [])
+    shutil.rmtree(count_root, ignore_errors=True)
+    total = len(counter.boundaries)
+
+    indices = list(range(total))
+    if points is not None and 0 < points < total:
+        step = (total - 1) / (points - 1) if points > 1 else 0
+        indices = sorted({round(i * step) for i in range(points)})
+    log(f"crashtest[{workload.name}]: {total} boundaries, "
+        f"testing {len(indices)} crash point(s)")
+
+    outcomes = []
+    for index in indices:
+        root = os.path.join(base, f"{workload.name}-p{index:03d}")
+        os.makedirs(root, exist_ok=True)
+        acked: list = []
+        layer = CrashPointIO(root, crash_at=index)
+        crashed = False
+        try:
+            with io_scope(layer):
+                workload.run(root, acked)
+        except SimulatedCrash:
+            crashed = True
+        problems: List[str] = []
+        if not crashed:
+            problems.append("boundary never reached (workload ran to "
+                            "completion; enumeration is stale?)")
+        else:
+            layer.materialize()
+            problems.extend(_check_crashed(workload, root, acked,
+                                           reference))
+            if not problems:
+                try:
+                    workload.recover(root)
+                except Exception as exc:
+                    problems.append(f"recovery raised "
+                                    f"{type(exc).__name__}: {exc}")
+                else:
+                    problems.extend(_check_recovered(workload, root,
+                                                     reference))
+        outcomes.append({
+            "point": index,
+            "boundary": (counter.boundaries[index].label
+                         if index < total else "?"),
+            "recovered": not problems,
+            "problems": problems,
+        })
+        if problems:
+            log(f"crashtest[{workload.name}] point {index} "
+                f"UNRECOVERABLE: {problems[0]}")
+        else:
+            shutil.rmtree(root, ignore_errors=True)
+    recovered = sum(1 for outcome in outcomes if outcome["recovered"])
+    return {"name": workload.name, "boundaries": total,
+            "points": len(outcomes), "recovered": recovered,
+            "ok": recovered == len(outcomes), "outcomes": outcomes}
+
+
+# -------------------------------------------------------- fault scenarios
+def _scenario_enospc(base: str, seed: int) -> Dict:
+    """ENOSPC mid-sweep: clean abort, reload, resume once space frees."""
+    workload = JournalSweepWorkload(quick=True)
+    ref_root = os.path.join(base, "faults-enospc-ref")
+    os.makedirs(ref_root, exist_ok=True)
+    workload.run(ref_root, [])
+    reference = _Reference(ref_root, _read_tree(ref_root), [])
+
+    root = os.path.join(base, "faults-enospc")
+    os.makedirs(root, exist_ok=True)
+    plan = DurabilityPlan.of(
+        DurabilitySpec(kind="enospc", target="*.journal.jsonl", after=3),
+        seed=seed)
+    problems: List[str] = []
+    try:
+        with io_scope(FaultyIO(plan)):
+            workload.run(root, [])
+    except JournalWriteError as exc:
+        if exc.__cause__ is None or exc.__cause__.errno != errno.ENOSPC:
+            problems.append(f"abort did not carry ENOSPC: {exc!r}")
+    else:
+        problems.append("full disk never surfaced as JournalWriteError")
+    journal_path = os.path.join(root, "sweep.journal.jsonl")
+    try:
+        SweepJournal.load(journal_path)
+    except ValueError as exc:
+        problems.append(f"journal not well-formed after clean abort: {exc}")
+    if not problems:
+        workload.recover(root)  # the disk "has space again"
+        problems.extend(_check_recovered(workload, root, reference))
+    return {"name": "enospc-clean-abort", "ok": not problems,
+            "problems": problems}
+
+
+def _scenario_eio_retry(base: str, seed: int) -> Dict:
+    """One-shot EIO + a short write, both absorbed by the append retry."""
+    workload = JournalSweepWorkload(quick=True)
+    ref_root = os.path.join(base, "faults-eio-ref")
+    os.makedirs(ref_root, exist_ok=True)
+    workload.run(ref_root, [])
+    reference = _Reference(ref_root, _read_tree(ref_root), [])
+
+    root = os.path.join(base, "faults-eio")
+    os.makedirs(root, exist_ok=True)
+    plan = DurabilityPlan.of(
+        DurabilitySpec(kind="eio", target="*.journal.jsonl", after=1,
+                       limit=1),
+        DurabilitySpec(kind="short_write", target="*.journal.jsonl",
+                       after=3, limit=1),
+        seed=seed)
+    faulty = FaultyIO(plan)
+    problems: List[str] = []
+    try:
+        with io_scope(faulty):
+            workload.run(root, [])
+    except OSError as exc:
+        problems.append(f"retry did not absorb the one-shot fault: "
+                        f"{exc!r}")
+    if faulty.stats.get("eio", 0) != 1:
+        problems.append(f"expected 1 injected EIO, saw {faulty.stats}")
+    if faulty.stats.get("short_write", 0) != 1:
+        problems.append(f"expected 1 injected short write, "
+                        f"saw {faulty.stats}")
+    if not problems:
+        name = "sweep.journal.jsonl"
+        with open(os.path.join(root, name), "rb") as handle:
+            survived = handle.read()
+        if survived != reference.final[name]:
+            problems.append(f"{name}: retries left the journal "
+                            f"different from a fault-free run (torn "
+                            f"fragment or duplicate record)")
+        problems.extend(_check_recovered(workload, root, reference))
+    return {"name": "eio-short-write-retry", "ok": not problems,
+            "problems": problems}
+
+
+def _scenario_rename_fail(base: str, seed: int) -> Dict:
+    """A failed rename must keep the old artifact and drop the temp."""
+    root = os.path.join(base, "faults-rename")
+    os.makedirs(root, exist_ok=True)
+    v1, v2 = "report v1\n", "report v2\n"
+    path = os.path.join(root, "report.txt")
+    atomic_write_text(path, v1)
+    plan = DurabilityPlan.of(
+        DurabilitySpec(kind="rename_fail", target="report.txt", limit=1),
+        seed=seed)
+    problems: List[str] = []
+    try:
+        with io_scope(FaultyIO(plan)):
+            atomic_write_text(path, v2)
+    except OSError as exc:
+        if exc.errno != errno.EIO:
+            problems.append(f"rename failure carried {exc.errno}, "
+                            f"not EIO")
+    else:
+        problems.append("injected rename failure never surfaced")
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    if content != v1:
+        problems.append(f"report.txt: old content not preserved "
+                        f"({content!r})")
+    litter = [name for name in os.listdir(root) if name.endswith(".tmp")]
+    if litter:
+        problems.append(f"temporary litter after failed rename: {litter}")
+    atomic_write_text(path, v2)  # the device recovered
+    with open(path, "r", encoding="utf-8") as handle:
+        if handle.read() != v2:
+            problems.append("retried write did not land v2")
+    return {"name": "rename-fail-keeps-old", "ok": not problems,
+            "problems": problems}
+
+
+def _scenario_fsync_lie(base: str, seed: int) -> Dict:
+    """A lying drive: lose everything un-synced, then recover."""
+    workload = JournalSweepWorkload(quick=True)
+    ref_root = os.path.join(base, "faults-lie-ref")
+    os.makedirs(ref_root, exist_ok=True)
+    workload.run(ref_root, [])
+    reference = _Reference(ref_root, _read_tree(ref_root), [])
+
+    root = os.path.join(base, "faults-lie")
+    os.makedirs(root, exist_ok=True)
+    plan = DurabilityPlan.of(DurabilitySpec(kind="fsync_lie"), seed=seed)
+    faulty = FaultyIO(plan)
+    problems: List[str] = []
+    with io_scope(faulty):
+        workload.run(root, [])
+    if not faulty.stats.get("fsync_lie"):
+        problems.append("no fsync was ever lied about")
+    lost = faulty.lose_unsynced()
+    if not lost:
+        problems.append("power cut after lies lost nothing — the lie "
+                        "was not actually hiding anything")
+    try:
+        SweepJournal.load(os.path.join(root, "sweep.journal.jsonl"))
+    except ValueError as exc:
+        problems.append(f"journal unreadable after revealed lie: {exc}")
+    if not problems:
+        workload.recover(root)
+        problems.extend(_check_recovered(workload, root, reference))
+    return {"name": "fsync-lie-lose-unsynced", "ok": not problems,
+            "problems": problems}
+
+
+# ------------------------------------------------------------- the driver
+def run_crashtest(out_dir: str = "results", seed: int = 0,
+                  quick: bool = False, points: Optional[int] = None,
+                  log: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run the full durability gauntlet; returns the JSON-able report.
+
+    ``points`` caps the crash points tested per workload (evenly
+    sampled; default all). Failing sandboxes are kept under
+    ``<out_dir>/crashtest/`` for inspection; the report is written to
+    ``<out_dir>/crashtest-report.json`` either way.
+    """
+    log = log or (lambda message: None)
+    base = os.path.join(out_dir, "crashtest")
+    shutil.rmtree(base, ignore_errors=True)
+    os.makedirs(base, exist_ok=True)
+
+    workloads: List[_Workload] = [
+        JournalSweepWorkload(quick),
+        JobQueueWorkload(),
+        ArtifactWorkload(quick),
+    ]
+    report: Dict = {"seed": seed, "quick": quick, "workloads": [],
+                    "faults": []}
+    for workload in workloads:
+        report["workloads"].append(
+            _gauntlet_workload(workload, base, points, log))
+
+    for scenario in (_scenario_enospc, _scenario_eio_retry,
+                     _scenario_rename_fail, _scenario_fsync_lie):
+        outcome = scenario(base, seed)
+        log(f"crashtest[faults] {outcome['name']}: "
+            f"{'ok' if outcome['ok'] else 'FAILED'}")
+        report["faults"].append(outcome)
+
+    report["points"] = sum(w["points"] for w in report["workloads"])
+    report["recovered"] = sum(w["recovered"] for w in report["workloads"])
+    report["ok"] = (all(w["ok"] for w in report["workloads"])
+                    and all(f["ok"] for f in report["faults"]))
+    os.makedirs(out_dir, exist_ok=True)
+    atomic_write_text(os.path.join(out_dir, "crashtest-report.json"),
+                      json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def render_crashtest(report: Dict) -> str:
+    """Human-readable gauntlet summary (the CLI output)."""
+    lines = []
+    for workload in report["workloads"]:
+        lines.append(f"  {workload['name']}: {workload['recovered']}/"
+                     f"{workload['points']} crash point(s) recovered "
+                     f"({workload['boundaries']} boundaries enumerated)")
+        for outcome in workload["outcomes"]:
+            if not outcome["recovered"]:
+                lines.append(f"    point {outcome['point']} "
+                             f"[{outcome['boundary']}]: "
+                             f"{'; '.join(outcome['problems'])}")
+    for fault in report["faults"]:
+        lines.append(f"  fault {fault['name']}: "
+                     f"{'ok' if fault['ok'] else 'FAILED'}")
+        for problem in fault["problems"]:
+            lines.append(f"    {problem}")
+    status = "OK" if report["ok"] else "FAILED"
+    lines.append(f"crashtest: {status} ({report['recovered']}/"
+                 f"{report['points']} crash points recovered, "
+                 f"{sum(1 for f in report['faults'] if f['ok'])}/"
+                 f"{len(report['faults'])} fault scenarios clean)")
+    return "\n".join(lines)

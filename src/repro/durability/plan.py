@@ -1,0 +1,199 @@
+"""Seeded, serialisable filesystem fault plans.
+
+The durability sibling of :class:`~repro.service.chaos.ChaosPlan`:
+where a chaos plan schedules *network* faults on the channels between
+coordinator and workers, a :class:`DurabilityPlan` schedules
+*filesystem* faults on the seam every journal append and atomic
+artifact write goes through (:mod:`repro.durability.io_layer`). The
+same design rules apply:
+
+* **Declarative and serialisable.** A plan is a tuple of
+  :class:`DurabilitySpec` entries plus a seed; it round-trips through
+  JSON losslessly.
+* **Deterministic.** One :class:`random.Random` seeded from the plan
+  drives every probability draw, and ``after``/``limit`` count
+  *eligible operations* per rule — the same plan against the same
+  operation sequence always injects the same faults.
+* **Zero-cost when disarmed.** Faults live entirely in the
+  :class:`~repro.durability.faulty.FaultyIO` wrapper; a run without a
+  plan keeps the default :data:`~repro.durability.io_layer.REAL_IO`
+  pass-through and never constructs one.
+
+Plan-file schema::
+
+    {
+      "seed": 7,
+      "durability": [
+        {"kind": "enospc", "target": "*.journal.jsonl", "after": 3},
+        {"kind": "eio", "probability": 0.1, "limit": 1},
+        {"kind": "short_write", "target": "jobs.jsonl", "limit": 1},
+        {"kind": "fsync_lie"},
+        {"kind": "rename_fail", "target": "*.txt", "limit": 1}
+      ]
+    }
+
+``target`` is an fnmatch pattern matched against both the basename
+and the full path of the file an operation touches (rename failures
+match the *destination*). Kinds and the seam operations they can hit:
+
+``enospc``
+    ``OSError(ENOSPC)`` on a file create or content write — the disk
+    filled up. Not retried by the stack: callers abort cleanly.
+``eio``
+    ``OSError(EIO)`` on a write or fsync — a flaky device. The journal
+    retries these once (see ``docs/DURABILITY.md``).
+``short_write``
+    The write lands only a prefix (``magnitude`` bytes; 0 means half)
+    before failing with ``OSError(EIO)`` — a torn append.
+``fsync_lie``
+    The fsync returns success without making anything durable — the
+    classic lying-drive cache. :meth:`FaultyIO.lose_unsynced
+    <repro.durability.faulty.FaultyIO.lose_unsynced>` later reveals
+    the lie by truncating files back to their truly-synced length.
+``rename_fail``
+    ``OSError(EIO)`` before the ``os.replace`` — the destination keeps
+    its old content, the temporary is cleaned up by the caller.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Iterable, Tuple
+
+__all__ = ["DURABILITY_KINDS", "DurabilitySpec", "DurabilityPlan"]
+
+#: Injectable filesystem fault kinds.
+DURABILITY_KINDS = ("enospc", "eio", "short_write", "fsync_lie",
+                    "rename_fail")
+
+#: Seam operations each kind is eligible to hit.
+KIND_OPS = {
+    "enospc": frozenset({"create", "write"}),
+    "eio": frozenset({"write", "fsync"}),
+    "short_write": frozenset({"write"}),
+    "fsync_lie": frozenset({"fsync"}),
+    "rename_fail": frozenset({"replace"}),
+}
+
+
+@dataclass(frozen=True)
+class DurabilitySpec:
+    """One filesystem fault rule.
+
+    ``probability`` is the per-eligible-operation chance the rule
+    fires; ``after`` delays arming until that many eligible operations
+    have passed; ``limit`` caps total firings (0 means unlimited).
+    ``magnitude`` is only meaningful for ``short_write``: the number
+    of bytes that land before the failure (0 picks half the buffer).
+    """
+
+    kind: str
+    target: str = "*"
+    probability: float = 1.0
+    after: int = 0
+    limit: int = 0
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in DURABILITY_KINDS:
+            raise ValueError(f"unknown durability kind {self.kind!r}; "
+                             f"expected one of {', '.join(DURABILITY_KINDS)}")
+        if not self.target:
+            raise ValueError("durability target pattern must be non-empty")
+        if not 0 < self.probability <= 1:
+            raise ValueError(f"probability must be in (0, 1], "
+                             f"got {self.probability}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.limit < 0:
+            raise ValueError(f"limit must be >= 0, got {self.limit}")
+        if self.magnitude < 0 or self.magnitude != int(self.magnitude):
+            raise ValueError(f"magnitude is a whole byte count, "
+                             f"got {self.magnitude}")
+        if self.kind != "short_write" and self.magnitude:
+            raise ValueError(f"{self.kind} takes no magnitude, "
+                             f"got {self.magnitude}")
+
+    def matches(self, op: str, path: str) -> bool:
+        """Is this rule eligible for seam operation ``op`` on ``path``?"""
+        if op not in KIND_OPS[self.kind]:
+            return False
+        return (fnmatchcase(os.path.basename(path), self.target)
+                or fnmatchcase(path, self.target))
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        defaults = {"target": "*", "probability": 1.0, "after": 0,
+                    "limit": 0, "magnitude": 0.0}
+        return {key: value for key, value in data.items()
+                if key == "kind" or value != defaults.get(key)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DurabilitySpec":
+        unknown = set(data) - {"kind", "target", "probability", "after",
+                               "limit", "magnitude"}
+        if unknown:
+            raise ValueError(f"unknown durability spec fields: "
+                             f"{', '.join(sorted(unknown))}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class DurabilityPlan:
+    """An immutable schedule of filesystem fault rules plus the seed."""
+
+    specs: Tuple[DurabilitySpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, DurabilitySpec):
+                raise TypeError(
+                    f"expected DurabilitySpec, got {type(spec).__name__}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @classmethod
+    def of(cls, *specs: DurabilitySpec, seed: int = 0) -> "DurabilityPlan":
+        return cls(specs=specs, seed=seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed,
+                "durability": [spec.to_dict() for spec in self.specs]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DurabilityPlan":
+        unknown = set(data) - {"seed", "durability"}
+        if unknown:
+            raise ValueError(f"unknown durability plan fields: "
+                             f"{', '.join(sorted(unknown))}")
+        rules = data.get("durability", ())
+        if not isinstance(rules, Iterable) or isinstance(rules, (str, bytes)):
+            raise ValueError("'durability' must be a list of fault specs")
+        return cls(specs=tuple(DurabilitySpec.from_dict(item)
+                               for item in rules),
+                   seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "DurabilityPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "DurabilityPlan":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")

@@ -23,14 +23,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from typing import Dict, List, Optional, Sequence
 
 from ..arch.base import PhaseResult, RunResult
+from ..durability.io_layer import current_io
 
 __all__ = [
     "atomic_write_text", "atomic_write_bytes", "sha256_file",
-    "write_manifest", "load_manifest", "verify_manifest", "MANIFEST_NAME",
+    "write_manifest", "load_manifest", "verify_manifest",
+    "manifest_report", "MANIFEST_NAME",
     "result_to_dict", "result_from_dict", "RESULT_SCHEMA_VERSION",
 ]
 
@@ -43,26 +44,33 @@ MANIFEST_NAME = "MANIFEST.json"
 
 # ------------------------------------------------------------- atomic I/O
 def atomic_write_bytes(path: str, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    All steps go through the active IO layer
+    (:mod:`repro.durability.io_layer`), so the durability gauntlet can
+    inject faults and crash points into this exact sequence. On any
+    failure the temporary file is removed; the destination only ever
+    holds its old or its new content, never a mix.
+    """
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory,
-                               prefix=f".{os.path.basename(path)}.",
-                               suffix=".tmp")
+    io = current_io()
+    handle, tmp = io.mkstemp(directory,
+                             prefix=f".{os.path.basename(path)}.",
+                             suffix=".tmp")
     try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        with handle:
+            io.write(handle, data)
+            io.fsync(handle)
+        io.replace(tmp, path)
     except BaseException:
         try:
             os.unlink(tmp)
         except OSError:
             pass
         raise
-    _fsync_directory(directory)
+    io.fsync_dir(directory)
 
 
 def atomic_write_text(path: str, text: str) -> None:
@@ -72,16 +80,7 @@ def atomic_write_text(path: str, text: str) -> None:
 
 def _fsync_directory(directory: str) -> None:
     """Best-effort durability of the rename itself."""
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
+    current_io().fsync_dir(directory)
 
 
 # --------------------------------------------------------------- manifest
@@ -132,20 +131,35 @@ def load_manifest(directory: str) -> Optional[Dict]:
         return json.load(handle)
 
 
-def verify_manifest(directory: str) -> List[str]:
-    """Check every manifest entry; return human-readable problems."""
+def manifest_report(directory: str) -> Optional[Dict[str, str]]:
+    """Re-hash every manifest entry: ``{name: "ok" | problem}``.
+
+    Returns ``None`` when the directory has no manifest at all. The
+    per-file statuses are what ``repro doctor --verify-artifacts``
+    prints as drift.
+    """
     manifest = load_manifest(directory)
     if manifest is None:
-        return [f"no {MANIFEST_NAME} in {directory}"]
-    problems = []
+        return None
+    report: Dict[str, str] = {}
     for name, entry in sorted(manifest.get("files", {}).items()):
         path = os.path.join(os.fspath(directory), name)
         if not os.path.exists(path):
-            problems.append(f"{name}: missing")
-            continue
-        if sha256_file(path) != entry.get("sha256"):
-            problems.append(f"{name}: checksum mismatch")
-    return problems
+            report[name] = "missing"
+        elif sha256_file(path) != entry.get("sha256"):
+            report[name] = "checksum mismatch"
+        else:
+            report[name] = "ok"
+    return report
+
+
+def verify_manifest(directory: str) -> List[str]:
+    """Check every manifest entry; return human-readable problems."""
+    report = manifest_report(directory)
+    if report is None:
+        return [f"no {MANIFEST_NAME} in {directory}"]
+    return [f"{name}: {status}" for name, status in report.items()
+            if status != "ok"]
 
 
 # ------------------------------------------- RunResult JSON round-trip

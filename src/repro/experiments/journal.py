@@ -32,20 +32,69 @@ journal: ``repro resume`` and ``repro doctor --journal`` both accept it.
 The append-only mechanics (torn-tail tolerance, fsync'd appends) live
 in :class:`AppendLog` so other persistent logs — the service's
 :class:`~repro.service.jobs.JobQueue` — share the exact crash-safety
-contract instead of re-implementing it.
+contract instead of re-implementing it. Those mechanics are
+gauntlet-verified (``repro crashtest``, ``docs/DURABILITY.md``) and
+harden three real failure modes:
+
+* the parent directory is fsync'd when the file is first created, so
+  a crash right after the first append cannot lose the whole journal
+  to a volatile directory entry;
+* every record carries a CRC32 over its canonical JSON (``crc``
+  field), verified on load — a mid-file bit-flip that still parses as
+  JSON is a hard error naming the file and line instead of being
+  silently folded; records from older, CRC-less journals are still
+  accepted;
+* an append that fails with ``EIO`` is retried once on a fresh handle
+  after a clean abort (any torn fragment trimmed), and an append that
+  cannot be completed raises :class:`JournalWriteError` with the file
+  in a well-formed state — never a half-applied record. A complete
+  record whose *fsync* keeps failing is left in place (it is valid,
+  just not guaranteed durable) and the error says so.
+
+All file operations go through the pluggable IO seam
+(:mod:`repro.durability.io_layer`), which is how the durability
+gauntlet injects ENOSPC/EIO/short writes/fsync lies and enumerates
+crash points through this exact code path.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["AppendLog", "SweepJournal", "CellState", "STATUSES"]
+from ..durability.io_layer import current_io
+
+__all__ = ["AppendLog", "SweepJournal", "CellState", "STATUSES",
+           "JournalWriteError", "record_crc"]
 
 #: Legal cell statuses, in lifecycle order.
 STATUSES = ("pending", "running", "done", "failed", "quarantined")
+
+
+class JournalWriteError(OSError):
+    """An append could not be applied; the journal is still well-formed.
+
+    Raised after the clean-abort path ran: the handle is closed and
+    any torn fragment of the failed record has been trimmed, so the
+    file never holds a half-applied record. The original ``OSError``
+    is chained as ``__cause__``.
+    """
+
+
+def record_crc(record: Dict) -> int:
+    """CRC32 of a record's canonical JSON (sorted keys, no ``crc``).
+
+    The canonical form is exactly what :meth:`AppendLog._append`
+    writes, so recomputing it over a loaded record is stable: ``json``
+    round-trips floats via ``repr`` and re-escapes strings
+    identically.
+    """
+    payload = {key: value for key, value in record.items() if key != "crc"}
+    return zlib.crc32(json.dumps(payload, sort_keys=True).encode("utf-8"))
 
 
 class AppendLog:
@@ -57,11 +106,19 @@ class AppendLog:
     or torn only in its final line — which :meth:`load` detects,
     counts in ``torn_lines``, and ignores, and which the next append
     trims so new records never concatenate onto the fragment.
+
+    Every written record carries a ``crc`` field (CRC32 of the rest of
+    the line, see :func:`record_crc`) that :meth:`load` verifies;
+    records without one (pre-CRC journals) are accepted unchecked. The
+    parent directory is fsync'd when the file is first created, and a
+    failed append aborts cleanly — see :class:`JournalWriteError`.
+    ``write_retries`` appends are retried on ``EIO`` (default one).
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, write_retries: int = 1):
         self.path = os.fspath(path)
         self.torn_lines = 0
+        self.write_retries = write_retries
         self._handle = None
 
     # ------------------------------------------------------------- load
@@ -91,6 +148,18 @@ class AppendLog:
                     raise ValueError(
                         f"{log.path}:{index + 1}: corrupt journal "
                         f"record (not at end of file)")
+                crc = record.pop("crc", None) if isinstance(record, dict) \
+                    else None
+                if crc is not None and crc != record_crc(record):
+                    # A line that parses but fails its checksum is a
+                    # bit-flip inside valid JSON — always a hard error,
+                    # even on the final line: a torn write can never
+                    # produce parseable JSON with a present-but-wrong
+                    # CRC, so this is corruption, not a crash artifact.
+                    raise ValueError(
+                        f"{log.path}:{index + 1}: journal record CRC "
+                        f"mismatch (stored {crc}, computed "
+                        f"{record_crc(record)})")
                 log._fold(record)
         return log
 
@@ -115,18 +184,73 @@ class AppendLog:
                 return
             handle.truncate(data.rfind(b"\n") + 1)
 
+    def _ensure_open(self, io) -> None:
+        if self._handle is not None:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._trim_torn_tail()
+        created = not os.path.exists(self.path)
+        self._handle = io.open_append(self.path)
+        if created:
+            # Make the new directory entry durable too: without this a
+            # crash can lose the whole "durable" journal, fsync'd
+            # records and all (gauntlet-verified, docs/DURABILITY.md).
+            io.fsync_dir(directory or ".")
+
+    def _abort(self, trim: bool = True) -> None:
+        """Clean abort of a failed append: close, and trim any fragment."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+        if trim:
+            try:
+                self._trim_torn_tail()
+            except OSError:
+                pass
+
     def _append(self, record: Dict) -> None:
-        if self._handle is None:
-            directory = os.path.dirname(self.path)
-            if directory:
-                os.makedirs(directory, exist_ok=True)
-            self._trim_torn_tail()
-            self._handle = open(self.path, "a", encoding="utf-8")
+        stamped = dict(record)
+        stamped["crc"] = record_crc(record)
         # One write call per record: appends from concurrent processes
         # (coordinator + a late worker flush) land as whole lines.
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        line = (json.dumps(stamped, sort_keys=True) + "\n").encode("utf-8")
+        io = current_io()
+        attempts = max(1, self.write_retries + 1)
+        # Phase 1: land the complete line. A failed try aborts cleanly
+        # (any torn fragment trimmed) so a retry — or a later appender —
+        # never concatenates onto half a record.
+        for attempt in range(attempts):
+            try:
+                self._ensure_open(io)
+                io.write(self._handle, line)
+                break
+            except OSError as error:
+                self._abort()
+                if error.errno == errno.EIO and attempt + 1 < attempts:
+                    continue
+                raise JournalWriteError(
+                    f"{self.path}: append failed ({error}); journal "
+                    f"left well-formed") from error
+        # Phase 2: make it durable. The line is complete on disk, so a
+        # retry must only re-fsync on a fresh handle — rewriting would
+        # duplicate the record.
+        for attempt in range(attempts):
+            try:
+                self._ensure_open(io)
+                io.fsync(self._handle)
+                break
+            except OSError as error:
+                self._abort(trim=False)
+                if error.errno == errno.EIO and attempt + 1 < attempts:
+                    continue
+                raise JournalWriteError(
+                    f"{self.path}: fsync failed ({error}); the record "
+                    f"is complete but not guaranteed durable") from error
         self._fold(record)
 
     def close(self) -> None:

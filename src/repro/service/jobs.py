@@ -12,6 +12,13 @@ coordinator killed at any moment reloads the exact queue on restart —
 jobs left ``running`` by the dead coordinator are simply re-activated,
 and their sweep journals take care of skipping the cells that already
 finished (``docs/SERVICE.md``).
+
+Because the append mechanics are inherited, the queue also inherits
+the gauntlet-verified hardening (``repro crashtest``,
+``docs/DURABILITY.md``): its writes go through the durability IO seam,
+the queue file's directory entry is fsync'd at creation, every record
+carries a load-verified CRC32, and a failed append aborts cleanly
+rather than leaving half a record.
 """
 
 from __future__ import annotations

@@ -1,0 +1,194 @@
+"""Tests for the durability gauntlet: CrashPointIO's power-loss model,
+the end-to-end ``run_crashtest`` enumeration (every crash point must
+recover), and the ``repro crashtest`` / ``repro doctor
+--verify-artifacts`` CLI surfaces."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.durability import CrashPointIO, SimulatedCrash
+from repro.durability.gauntlet import render_crashtest, run_crashtest
+from repro.experiments.artifacts import write_manifest
+
+
+# --------------------------------------------------- the power-loss model
+class TestCrashPointIO:
+    def test_counting_mode_passes_through(self, tmp_path):
+        root = str(tmp_path)
+        layer = CrashPointIO(root)
+        handle = layer.open_append(os.path.join(root, "log"))
+        layer.write(handle, b"hello\n")
+        layer.fsync(handle)
+        handle.close()
+        layer.fsync_dir(root)
+        assert [b.op for b in layer.boundaries] == [
+            "create", "write", "fsync", "fsync_dir"]
+        assert layer.crashed is None
+        with open(os.path.join(root, "log"), "rb") as check:
+            assert check.read() == b"hello\n"
+
+    def test_created_entry_without_dir_fsync_vanishes(self, tmp_path):
+        # fsync'd *content* is not enough: until the parent directory
+        # is fsync'd the entry itself is volatile.
+        root = str(tmp_path)
+        path = os.path.join(root, "log")
+        layer = CrashPointIO(root, crash_at=3)
+        handle = layer.open_append(path)          # 0 create
+        layer.write(handle, b"hello\n")           # 1
+        layer.fsync(handle)                       # 2 content durable
+        with pytest.raises(SimulatedCrash):
+            layer.fsync(handle)                   # 3 crash
+        handle.close()
+        touched = layer.materialize()
+        assert not os.path.exists(path)
+        assert any("entry never durable" in note for note in touched)
+
+    def test_dir_fsync_makes_the_entry_stick(self, tmp_path):
+        root = str(tmp_path)
+        path = os.path.join(root, "log")
+        layer = CrashPointIO(root, crash_at=4)
+        handle = layer.open_append(path)          # 0 create
+        layer.fsync_dir(root)                     # 1 entry durable
+        layer.write(handle, b"hello\n")           # 2
+        layer.fsync(handle)                       # 3
+        with pytest.raises(SimulatedCrash):
+            layer.write(handle, b"world!\n")      # 4 torn write
+        handle.close()
+        layer.materialize()
+        with open(path, "rb") as check:
+            # Durable bytes plus half the interrupted buffer.
+            assert check.read() == b"hello\n" + b"wor"
+
+    def test_unsynced_write_is_lost(self, tmp_path):
+        root = str(tmp_path)
+        path = os.path.join(root, "log")
+        layer = CrashPointIO(root, crash_at=3)
+        handle = layer.open_append(path)          # 0 create
+        layer.fsync_dir(root)                     # 1
+        layer.write(handle, b"hello\n")           # 2 pending only
+        with pytest.raises(SimulatedCrash):
+            layer.fsync(handle)                   # 3 crash before flush
+        handle.close()
+        layer.materialize()
+        with open(path, "rb") as check:
+            assert check.read() == b""
+
+    def test_rename_without_dir_fsync_keeps_old_content(self, tmp_path):
+        root = str(tmp_path)
+        dst = os.path.join(root, "report.txt")
+        with open(dst, "wb") as seed:
+            seed.write(b"old\n")                  # pre-existing: durable
+        layer = CrashPointIO(root, crash_at=4)
+        handle, tmp = layer.mkstemp(root, ".report.txt.", ".tmp")  # 0
+        layer.write(handle, b"new\n")             # 1
+        layer.fsync(handle)                       # 2
+        handle.close()
+        layer.replace(tmp, dst)                   # 3
+        with pytest.raises(SimulatedCrash):
+            layer.fsync_dir(root)                 # 4 rename still volatile
+        layer.materialize()
+        with open(dst, "rb") as check:
+            assert check.read() == b"old\n"
+        assert not [name for name in os.listdir(root)
+                    if name.endswith(".tmp")]
+
+    def test_boundary_labels_are_deterministic(self, tmp_path):
+        # mkstemp's random token is normalized so the same workload
+        # enumerates the same labels run after run.
+        labels = []
+        for attempt in range(2):
+            root = str(tmp_path / f"r{attempt}")
+            os.makedirs(root)
+            layer = CrashPointIO(root)
+            handle, tmp = layer.mkstemp(root, ".x.csv.", ".tmp")
+            layer.write(handle, b"1\n")
+            handle.close()
+            labels.append([b.label for b in layer.boundaries])
+        assert labels[0] == labels[1]
+        assert labels[0][0] == "0:create:.x.csv..tmp"
+        assert labels[0][1] == "1:write:.x.csv.*.tmp"
+
+    def test_outside_root_is_untracked(self, tmp_path):
+        root = str(tmp_path / "sandbox")
+        os.makedirs(root)
+        outside = str(tmp_path / "elsewhere.log")
+        layer = CrashPointIO(root, crash_at=0)
+        handle = layer.open_append(outside)  # no boundary, no crash
+        layer.write(handle, b"x\n")
+        handle.close()
+        assert layer.boundaries == []
+        assert os.path.exists(outside)
+
+
+# ----------------------------------------------------- the full gauntlet
+class TestRunCrashtest:
+    def test_quick_gauntlet_recovers_every_point(self, tmp_path):
+        out_dir = str(tmp_path / "results")
+        report = run_crashtest(out_dir=out_dir, seed=0, quick=True)
+        assert report["ok"], render_crashtest(report)
+        assert report["recovered"] == report["points"] > 0
+        assert all(f["ok"] for f in report["faults"])
+        assert len(report["faults"]) == 4
+        report_path = os.path.join(out_dir, "crashtest-report.json")
+        with open(report_path, encoding="utf-8") as handle:
+            assert json.load(handle)["ok"] is True
+        assert "crashtest: OK" in render_crashtest(report)
+        # Passing sandboxes are cleaned up; references are kept.
+        leftovers = os.listdir(os.path.join(out_dir, "crashtest"))
+        assert not [name for name in leftovers if "-p0" in name]
+
+    def test_full_gauntlet_enumerates_fifty_plus_points(self, tmp_path):
+        out_dir = str(tmp_path / "results")
+        report = run_crashtest(out_dir=out_dir, seed=0, quick=False)
+        assert report["ok"], render_crashtest(report)
+        total = sum(w["boundaries"] for w in report["workloads"])
+        assert total >= 50
+        assert report["recovered"] == report["points"] == total
+
+    def test_points_cap_samples_evenly(self, tmp_path):
+        out_dir = str(tmp_path / "results")
+        report = run_crashtest(out_dir=out_dir, seed=0, quick=True,
+                               points=3)
+        assert report["ok"], render_crashtest(report)
+        for workload in report["workloads"]:
+            assert workload["points"] == 3
+            indices = [o["point"] for o in workload["outcomes"]]
+            assert indices[0] == 0
+            assert indices[-1] == workload["boundaries"] - 1
+
+
+# --------------------------------------------------------------- the CLI
+class TestCrashtestCli:
+    def test_crashtest_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["crashtest", "--quick", "--points", "2",
+                     "--out-dir", "out"]) == 0
+        printed = capsys.readouterr().out
+        assert "crashtest: OK" in printed
+        assert os.path.exists(os.path.join("out",
+                                           "crashtest-report.json"))
+
+    def test_doctor_verify_artifacts(self, capsys, tmp_path,
+                                     monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        os.makedirs("arts")
+        with open(os.path.join("arts", "fig1.csv"), "w") as handle:
+            handle.write("disks,speedup\n16,1.0\n")
+        write_manifest("arts")
+        assert main(["doctor", "--verify-artifacts", "arts"]) == 0
+        assert "file(s) match their checksums" in capsys.readouterr().out
+        with open(os.path.join("arts", "fig1.csv"), "a") as handle:
+            handle.write("tampered\n")
+        assert main(["doctor", "--verify-artifacts", "arts"]) == 1
+        printed = capsys.readouterr().out
+        assert "drift: fig1.csv: checksum mismatch" in printed
+
+    def test_doctor_verify_artifacts_no_manifest(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        os.makedirs("empty")
+        assert main(["doctor", "--verify-artifacts", "empty"]) == 1
+        assert "no MANIFEST.json" in capsys.readouterr().out
